@@ -1,0 +1,399 @@
+package wearwild
+
+// The benchmark harness: one testing.B target per figure and takeaway of
+// the paper (see DESIGN.md's experiment index), plus the ablation benches
+// DESIGN.md calls out. Figure benches time the analysis that regenerates
+// the figure over a shared pre-generated dataset and report the figure's
+// headline statistic as a custom benchmark metric, so `go test -bench=.`
+// both times the pipeline and reprints the paper's numbers.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"wearwild/internal/core"
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/gen/sim"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/study/appid"
+	"wearwild/internal/study/sessions"
+)
+
+var (
+	benchOnce  sync.Once
+	benchDS    *sim.Dataset
+	benchStudy *core.Study
+	benchErr   error
+)
+
+// benchSetup generates the shared benchmark dataset once per process.
+func benchSetup(b *testing.B) *core.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := sim.DefaultConfig(1234)
+		cfg.Population.WearableUsers = 1000
+		cfg.Population.OrdinaryUsers = 3000
+		cfg.Cells.UrbanSectors = 600
+		cfg.Cells.RuralSectors = 250
+		cfg.OrdinaryMobilitySample = 1000
+		benchDS, benchErr = sim.Generate(cfg)
+		if benchErr != nil {
+			return
+		}
+		benchStudy, benchErr = core.NewStudy(benchDS, core.DefaultConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// BenchmarkGenerate times full dataset generation (the substrate sweep
+// behind every figure).
+func BenchmarkGenerate(b *testing.B) {
+	cfg := sim.SmallConfig(7)
+	cfg.Population.WearableUsers = 300
+	cfg.Population.OrdinaryUsers = 900
+	cfg.OrdinaryMobilitySample = 300
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds, err := sim.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ds.Proxy.Len()), "proxyrecs")
+	}
+}
+
+// BenchmarkStudyFull times the complete analysis pipeline.
+func BenchmarkStudyFull(b *testing.B) {
+	s := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2aAdoption(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.Adoption
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig2a()
+	}
+	b.ReportMetric(out.TotalGrowthPct, "growth_pct")
+	b.ReportMetric(100*out.DataActiveShare, "active_pct")
+}
+
+func BenchmarkFig2bRetention(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.Retention
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig2b()
+	}
+	b.ReportMetric(100*out.RetainedFrac, "retained_pct")
+	b.ReportMetric(100*out.AbandonedFrac, "abandoned_pct")
+}
+
+func BenchmarkFig3aHourly(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.HourlyPattern
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig3a()
+	}
+	b.ReportMetric(100*out.DailyActiveShare, "dailyactive_pct")
+}
+
+func BenchmarkFig3bActivity(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.ActivityDistributions
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig3b()
+	}
+	b.ReportMetric(out.MeanDays, "days_per_week")
+	b.ReportMetric(out.MeanHours, "hours_per_day")
+}
+
+func BenchmarkFig3cTransactions(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.Transactions
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig3c()
+	}
+	b.ReportMetric(out.MedianSizeBytes, "median_B")
+	b.ReportMetric(100*out.FracUnder10KB, "under10KB_pct")
+}
+
+func BenchmarkFig3dCorrelation(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.ActivityCoupling
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig3d()
+	}
+	b.ReportMetric(out.Spearman, "spearman")
+}
+
+func BenchmarkFig4aOwnersVsRest(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.OwnersVsRest
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig4a()
+	}
+	b.ReportMetric(out.DataGainPct, "datagain_pct")
+	b.ReportMetric(out.TxGainPct, "txgain_pct")
+}
+
+func BenchmarkFig4bDeviceShare(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.DeviceShare
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeFig4b()
+	}
+	b.ReportMetric(out.OrdersOfMagnitude, "ooms")
+}
+
+func BenchmarkFig4cDisplacement(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.Mobility
+	for i := 0; i < b.N; i++ {
+		out, _ = s.ComputeFig4c()
+	}
+	b.ReportMetric(out.OwnerMeanKm, "owner_km")
+	b.ReportMetric(out.EntropyGainPct, "entropygain_pct")
+}
+
+func BenchmarkFig4dMobilityActivity(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.MobilityCoupling
+	for i := 0; i < b.N; i++ {
+		_, out = s.ComputeFig4c()
+	}
+	b.ReportMetric(out.Spearman, "spearman")
+}
+
+func BenchmarkFig5aAppPopularity(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out *core.Results
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeAppFigures()
+	}
+	if len(out.Fig5a) > 0 {
+		b.ReportMetric(out.Fig5a[0].DailyUsersSharePct, "top_users_pct")
+	}
+}
+
+func BenchmarkFig5bAppUsage(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out *core.Results
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeAppFigures()
+	}
+	if len(out.Fig5b) > 0 {
+		b.ReportMetric(out.Fig5b[0].FreqSharePct, "top_freq_pct")
+	}
+}
+
+func BenchmarkFig6Categories(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out *core.Results
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeAppFigures()
+	}
+	if len(out.Fig6) > 0 {
+		b.ReportMetric(out.Fig6[0].UsersSharePct, "top_cat_pct")
+	}
+}
+
+func BenchmarkFig7PerUsage(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out *core.Results
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeAppFigures()
+	}
+	if len(out.Fig7) > 0 {
+		b.ReportMetric(out.Fig7[0].KBPerUsage, "top_KB_per_usage")
+	}
+}
+
+func BenchmarkFig8ThirdParty(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out *core.Results
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeAppFigures()
+	}
+	b.ReportMetric(out.Fig8[apps.KindApplication].DataSharePct, "firstparty_pct")
+	b.ReportMetric(out.Fig8[apps.KindAdvertising].DataSharePct, "ads_pct")
+}
+
+func BenchmarkTakeawayApps(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out *core.Results
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeAppFigures()
+	}
+	b.ReportMetric(out.Takeaways.MeanAppsPerUser, "apps_per_user")
+	b.ReportMetric(100*out.Takeaways.OneAppDayFrac, "oneapp_pct")
+}
+
+func BenchmarkThroughDevice(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var out core.ThroughDevice
+	for i := 0; i < b.N; i++ {
+		out = s.ComputeThroughDevice()
+	}
+	b.ReportMetric(float64(out.Identified), "identified")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// Codec ablation: the compact binary proxy-log codec vs CSV.
+func benchProxyRecords(b *testing.B) []proxylog.Record {
+	b.Helper()
+	s := benchSetup(b)
+	recs := s.WearableRecords()
+	if len(recs) > 50000 {
+		recs = recs[:50000]
+	}
+	return recs
+}
+
+func BenchmarkCodecCSVEncode(b *testing.B) {
+	recs := benchProxyRecords(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := proxylog.WriteCSV(&buf, recs); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+	}
+	b.ReportMetric(float64(size)/float64(len(recs)), "B/rec")
+}
+
+func BenchmarkCodecBinaryEncode(b *testing.B) {
+	recs := benchProxyRecords(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := proxylog.WriteBinary(&buf, recs); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+	}
+	b.ReportMetric(float64(size)/float64(len(recs)), "B/rec")
+}
+
+func BenchmarkCodecCSVDecode(b *testing.B) {
+	recs := benchProxyRecords(b)
+	var buf bytes.Buffer
+	if err := proxylog.WriteCSV(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxylog.ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecBinaryDecode(b *testing.B) {
+	recs := benchProxyRecords(b)
+	var buf bytes.Buffer
+	if err := proxylog.WriteBinary(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxylog.ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sessionisation-gap ablation: the paper's 1-minute boundary vs tighter
+// and looser gaps. The usages/run metric shows how the choice reshapes
+// what counts as one usage.
+func benchSessionize(b *testing.B, gap time.Duration) {
+	recs := benchProxyRecords(b)
+	b.ResetTimer()
+	var usages int
+	for i := 0; i < b.N; i++ {
+		usages = len(sessions.Sessionize(recs, gap))
+	}
+	b.ReportMetric(float64(usages), "usages")
+}
+
+func BenchmarkSessionizeGap30s(b *testing.B) { benchSessionize(b, 30*time.Second) }
+func BenchmarkSessionizeGap1m(b *testing.B)  { benchSessionize(b, time.Minute) }
+func BenchmarkSessionizeGap5m(b *testing.B)  { benchSessionize(b, 5*time.Minute) }
+
+// App-attribution ablation: the paper's timeframe-correlation (majority
+// vote) against the cheaper first-anchor strategy. The attributed_pct
+// metric shows coverage; agree_pct how often the strategies concur.
+func BenchmarkAttribute(b *testing.B) {
+	recs := benchProxyRecords(b)
+	usages := sessions.Sessionize(recs, time.Minute)
+	resolver := appid.NewResolver(apps.DefaultWithTail())
+	b.ResetTimer()
+	var attributed int
+	for i := 0; i < b.N; i++ {
+		out := resolver.Attribute(usages)
+		attributed = 0
+		for _, u := range out {
+			if u.App != nil {
+				attributed++
+			}
+		}
+	}
+	b.ReportMetric(100*float64(attributed)/float64(len(usages)), "attributed_pct")
+}
+
+func BenchmarkAttributeAnchor(b *testing.B) {
+	recs := benchProxyRecords(b)
+	usages := sessions.Sessionize(recs, time.Minute)
+	resolver := appid.NewResolver(apps.DefaultWithTail())
+	vote := resolver.Attribute(usages)
+	b.ResetTimer()
+	var anchor []appid.Attributed
+	for i := 0; i < b.N; i++ {
+		anchor = resolver.AttributeAnchor(usages)
+	}
+	b.StopTimer()
+	agree := 0
+	for i := range anchor {
+		if anchor[i].App == vote[i].App {
+			agree++
+		}
+	}
+	b.ReportMetric(100*float64(agree)/float64(len(anchor)), "agree_pct")
+}

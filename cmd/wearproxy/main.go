@@ -1,0 +1,135 @@
+// Command wearproxy runs the transparent logging proxy on a local
+// address: the paper's measurement middlebox as a standalone tool. It
+// sniffs each connection (TLS ClientHello or HTTP request head), splices
+// it to the origin, and appends one proxy-log record per connection to a
+// CSV file.
+//
+// Hosts are resolved through a plain DNS-less mapping file of
+// "host=address:port" lines (transparent deployments know their routing),
+// or with -passthrough every host is dialed directly on port 443/80.
+//
+// Usage:
+//
+//	wearproxy -listen 127.0.0.1:8443 -log proxy.csv [-map hosts.map | -passthrough]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"wearwild/internal/mnet/netproxy"
+	"wearwild/internal/mnet/proxylog"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wearproxy: ")
+
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8443", "listen address")
+		logPath     = flag.String("log", "proxy.csv", "proxy log output (.csv[.gz] or .bin[.gz])")
+		mapPath     = flag.String("map", "", "host mapping file: one host=addr:port per line")
+		passthrough = flag.Bool("passthrough", false, "dial hosts directly (443 for TLS, 80 for HTTP)")
+	)
+	flag.Parse()
+
+	hostMap, err := loadHostMap(*mapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(hostMap) == 0 && !*passthrough {
+		log.Fatal("need -map or -passthrough")
+	}
+
+	var mu sync.Mutex
+	var records []proxylog.Record
+
+	proxy, err := netproxy.New(netproxy.Config{
+		Dial: func(host string, isTLS bool) (net.Conn, error) {
+			if addr, ok := hostMap[host]; ok {
+				return net.Dial("tcp", addr)
+			}
+			if !*passthrough {
+				return nil, fmt.Errorf("host %q not mapped", host)
+			}
+			port := "80"
+			if isTLS {
+				port = "443"
+			}
+			return net.Dial("tcp", net.JoinHostPort(host, port))
+		},
+		Log: func(r proxylog.Record) {
+			mu.Lock()
+			records = append(records, r)
+			n := len(records)
+			mu.Unlock()
+			log.Printf("#%d %s %s %dB up %dB down %v", n, r.Scheme, r.Host, r.BytesUp, r.BytesDown, r.Duration)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s, logging to %s", ln.Addr(), *logPath)
+
+	done := make(chan error, 1)
+	go func() { done <- proxy.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		log.Printf("shutting down")
+		_ = proxy.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if err := proxylog.WriteFile(*logPath, records); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d records to %s", len(records), *logPath)
+}
+
+// loadHostMap parses "host=addr:port" lines; '#' starts a comment.
+func loadHostMap(path string) (map[string]string, error) {
+	out := map[string]string{}
+	if path == "" {
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		host, addr, ok := strings.Cut(text, "=")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: want host=addr:port", path, line)
+		}
+		out[strings.TrimSpace(host)] = strings.TrimSpace(addr)
+	}
+	return out, sc.Err()
+}

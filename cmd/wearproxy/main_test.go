@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadHostMap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hosts.map")
+	content := `# comment line
+api.weather.app = 127.0.0.1:8443
+
+push.weather.app=127.0.0.1:9443
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadHostMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("entries = %d", len(m))
+	}
+	if m["api.weather.app"] != "127.0.0.1:8443" {
+		t.Fatalf("map = %v", m)
+	}
+	if m["push.weather.app"] != "127.0.0.1:9443" {
+		t.Fatal("whitespace-free line mishandled")
+	}
+}
+
+func TestLoadHostMapErrors(t *testing.T) {
+	if m, err := loadHostMap(""); err != nil || len(m) != 0 {
+		t.Fatal("empty path should yield empty map")
+	}
+	if _, err := loadHostMap("/nonexistent/hosts.map"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.map")
+	if err := os.WriteFile(bad, []byte("no-equals-sign\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadHostMap(bad); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

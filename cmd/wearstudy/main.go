@@ -1,0 +1,58 @@
+// Command wearstudy runs the paper's full analysis over a dataset and
+// prints every figure. Without -data it generates a dataset in memory.
+//
+// Usage:
+//
+//	wearstudy [-data dataset/] [-seed 42] [-small] [-rows 25] [-eval]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"wearwild"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wearstudy: ")
+
+	var (
+		data = flag.String("data", "", "dataset directory from wearsim (optional)")
+		seed = flag.Uint64("seed", 42, "seed when generating in memory")
+		smol = flag.Bool("small", false, "use the fast small-scale configuration")
+		rows = flag.Int("rows", 25, "max rows in app tables (0 = all)")
+		eval = flag.Bool("eval", false, "append the paper-vs-measured evaluation")
+	)
+	flag.Parse()
+
+	var (
+		ds  *wearwild.Dataset
+		err error
+	)
+	if *data != "" {
+		ds, err = wearwild.Load(*data)
+	} else {
+		cfg := wearwild.DefaultConfig(*seed)
+		if *smol {
+			cfg = wearwild.SmallConfig(*seed)
+		}
+		ds, err = wearwild.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := wearwild.RunStudy(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wearwild.Render(os.Stdout, res, *rows)
+
+	if *eval {
+		if err := wearwild.WriteExperimentsMarkdown(os.Stdout, wearwild.Evaluate(res)); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Adoption: reproduce the paper's §4.1 user-adoption analysis (Fig 2) and
+// sweep the monthly growth parameter to show how the measured curve tracks
+// the planted one — the kind of what-if a carrier would run before an
+// Apple Watch launch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wearwild"
+)
+
+func main() {
+	fmt.Println("growth sweep: planted vs measured adoption")
+	fmt.Println("planted %/month   measured %/month   measured total %   retained %   abandoned %")
+
+	for _, monthly := range []float64{0.005, 0.015, 0.04} {
+		cfg := wearwild.SmallConfig(11)
+		// Adoption statistics ride on ~5% of the cohort, so use a larger
+		// wearable population than the default small config; the ordinary
+		// sample can stay small for this figure.
+		cfg.Population.WearableUsers = 2500
+		cfg.Population.MonthlyGrowth = monthly
+
+		ds, err := wearwild.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := wearwild.RunStudy(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%15.1f   %16.2f   %16.1f   %10.0f   %11.0f\n",
+			100*monthly,
+			res.Fig2a.MonthlyGrowthPct,
+			res.Fig2a.TotalGrowthPct,
+			100*res.Fig2b.RetainedFrac,
+			100*res.Fig2b.AbandonedFrac)
+	}
+
+	fmt.Println("\npaper reference: +1.5%/month, +9% total, 77% retained, 7% abandoned;")
+	fmt.Println("only 34% of registered wearables ever transmit data.")
+}

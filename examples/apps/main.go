@@ -1,0 +1,73 @@
+// Apps: reproduce the paper's §5 application analysis — app popularity
+// (Fig 5), category shares (Fig 6), per-usage intensity (Fig 7) and the
+// third-party traffic split (Fig 8) — and show how the sessionisation gap
+// changes what counts as "one usage".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wearwild"
+	"wearwild/internal/gen/apps"
+)
+
+func main() {
+	ds, err := wearwild.Generate(wearwild.SmallConfig(23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wearwild.RunStudy(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top 10 apps by daily associated users (Fig 5a):")
+	for i, row := range res.Fig5a {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %2d. %-16s %6.2f%% of daily associations\n", i+1, row.App, row.DailyUsersSharePct)
+	}
+
+	fmt.Println("\ncategory user shares (Fig 6a):")
+	for _, row := range res.Fig6 {
+		fmt.Printf("  %-18s %6.2f%%\n", string(row.Category), row.UsersSharePct)
+	}
+
+	fmt.Println("\nheaviest apps per single usage (Fig 7):")
+	for i, row := range res.Fig7 {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-16s %6.1f tx/usage  %8.1f KB/usage\n", row.App, row.TxPerUsage, row.KBPerUsage)
+	}
+
+	app := res.Fig8[apps.KindApplication].DataSharePct
+	third := res.Fig8[apps.KindUtilities].DataSharePct +
+		res.Fig8[apps.KindAdvertising].DataSharePct +
+		res.Fig8[apps.KindAnalytics].DataSharePct
+	fmt.Printf("\nfirst-party vs third-party data (Fig 8): %.1f%% vs %.1f%% — same order of magnitude\n", app, third)
+
+	// Ablation: the paper's one-minute usage boundary vs wider gaps. A
+	// larger gap merges usages, inflating per-usage transaction counts.
+	fmt.Println("\nsessionisation-gap sensitivity (mean tx/usage of the top app):")
+	for _, gap := range []time.Duration{30 * time.Second, time.Minute, 5 * time.Minute} {
+		cfg := wearwild.DefaultStudyConfig()
+		cfg.SessionGap = gap
+		r2, err := wearwild.RunStudyWith(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var top string
+		var tx float64
+		for _, row := range r2.Fig7 {
+			if row.UsageSamples > 50 {
+				top, tx = row.App, row.TxPerUsage
+				break
+			}
+		}
+		fmt.Printf("  gap %-4v -> %s at %.1f tx/usage\n", gap, top, tx)
+	}
+}

@@ -1,0 +1,55 @@
+// Mobility: reproduce the paper's §4.4 analysis — max displacement,
+// location entropy and the single-location share (Fig 4c/4d) — and sweep
+// the demographic mobility boost to show where the 2x owner/rest gap
+// comes from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wearwild"
+)
+
+func main() {
+	ds, err := wearwild.Generate(wearwild.SmallConfig(31))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := wearwild.RunStudy(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Fig4c
+	fmt.Println("Fig 4(c) — mobility of SIM-wearable users vs remaining customers")
+	fmt.Printf("  owner mean daily max displacement  %.1f km (paper ≈20)\n", m.OwnerMeanKm)
+	fmt.Printf("  owner p90                          %.1f km (paper ≈30)\n", m.OwnerP90Km)
+	fmt.Printf("  rest mean                          %.1f km (paper ratio ≈2x)\n", m.RestMeanKm)
+	fmt.Printf("  location entropy gain              %+.0f%% (paper +70%%)\n", m.EntropyGainPct)
+	fmt.Printf("  single-location transmitters       %.0f%% (paper 60%%)\n", 100*m.SingleLocationFrac)
+	fmt.Printf("  displacement vs tx/hour Spearman   %.2f (Fig 4d)\n\n", res.Fig4d.Spearman)
+
+	// Where does the gap come from? Sweep the demographic boost.
+	fmt.Println("mobility-boost sweep (owner/rest displacement ratio):")
+	for _, boost := range []float64{1.0, 1.6, 2.2} {
+		cfg := wearwild.SmallConfig(31)
+		cfg.Population.OwnerMobilityBoost = boost
+		ds2, err := wearwild.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r2, err := wearwild.RunStudy(ds2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := 0.0
+		if r2.Fig4c.RestMeanKm > 0 {
+			ratio = r2.Fig4c.OwnerMeanKm / r2.Fig4c.RestMeanKm
+		}
+		fmt.Printf("  boost %.1f -> owners %.1f km, rest %.1f km, ratio %.2fx, entropy %+.0f%%\n",
+			boost, r2.Fig4c.OwnerMeanKm, r2.Fig4c.RestMeanKm, ratio, r2.Fig4c.EntropyGainPct)
+	}
+	fmt.Println("\neven at boost 1.0 a gap remains: the employment mix alone makes the")
+	fmt.Println("wearable demographic more mobile than the whole-population sample.")
+}

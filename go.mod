@@ -1,0 +1,3 @@
+module wearwild
+
+go 1.22

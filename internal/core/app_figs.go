@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/simtime"
+	"wearwild/internal/stats"
+
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/study/fingerprint"
+	"wearwild/internal/study/sessions"
+)
+
+// appFigures computes Figs 5–8 and the §4.3 app takeaways from the
+// sessionised, attributed wearable traffic.
+func (s *Study) appFigures(res *Results) {
+	usages := sessions.Sessionize(s.wearRecs, s.cfg.SessionGap)
+	attributed := s.resolver.Attribute(usages)
+
+	type appAgg struct {
+		app        *apps.App
+		usageCount float64
+		tx         float64
+		bytes      float64
+		dayUsers   map[simtime.Day]map[subs.IMSI]struct{}
+		userDays   map[subs.IMSI]map[simtime.Day]struct{}
+		perUsageTx stats.Summary
+		perUsageKB stats.Summary
+	}
+	aggs := make(map[string]*appAgg)
+	userApps := make(map[subs.IMSI]map[string]struct{})
+	dayApps := make(map[subs.IMSI]map[simtime.Day]map[string]struct{})
+
+	for _, u := range attributed {
+		if u.App == nil {
+			continue // no first-party anchor in the timeframe
+		}
+		a := aggs[u.App.Name]
+		if a == nil {
+			a = &appAgg{
+				app:      u.App,
+				dayUsers: make(map[simtime.Day]map[subs.IMSI]struct{}),
+				userDays: make(map[subs.IMSI]map[simtime.Day]struct{}),
+			}
+			aggs[u.App.Name] = a
+		}
+		d := simtime.DayOf(u.Start)
+		if a.dayUsers[d] == nil {
+			a.dayUsers[d] = make(map[subs.IMSI]struct{})
+		}
+		a.dayUsers[d][u.IMSI] = struct{}{}
+		if a.userDays[u.IMSI] == nil {
+			a.userDays[u.IMSI] = make(map[simtime.Day]struct{})
+		}
+		a.userDays[u.IMSI][d] = struct{}{}
+
+		a.usageCount++
+		a.tx += float64(u.Transactions())
+		a.bytes += float64(u.Bytes())
+		a.perUsageTx.Add(float64(u.Transactions()))
+		a.perUsageKB.Add(float64(u.Bytes()) / 1024)
+
+		if userApps[u.IMSI] == nil {
+			userApps[u.IMSI] = make(map[string]struct{})
+		}
+		userApps[u.IMSI][u.App.Name] = struct{}{}
+		if dayApps[u.IMSI] == nil {
+			dayApps[u.IMSI] = make(map[simtime.Day]map[string]struct{})
+		}
+		if dayApps[u.IMSI][d] == nil {
+			dayApps[u.IMSI][d] = make(map[string]struct{})
+		}
+		dayApps[u.IMSI][d][u.App.Name] = struct{}{}
+	}
+
+	// Totals for share normalisation.
+	var totAssoc, totUsedDays, totUsages, totTx, totBytes float64
+	type appTotals struct {
+		assoc, usedDaysPerUser float64
+	}
+	perApp := make(map[string]appTotals, len(aggs))
+	for name, a := range aggs {
+		var assoc float64
+		for _, set := range a.dayUsers {
+			assoc += float64(len(set))
+		}
+		var usedDays float64
+		for _, days := range a.userDays {
+			usedDays += float64(len(days))
+		}
+		usedDaysPerUser := usedDays / float64(len(a.userDays))
+		perApp[name] = appTotals{assoc: assoc, usedDaysPerUser: usedDaysPerUser}
+		totAssoc += assoc
+		totUsedDays += usedDaysPerUser
+		totUsages += a.usageCount
+		totTx += a.tx
+		totBytes += a.bytes
+	}
+
+	pct := func(v, tot float64) float64 {
+		if tot == 0 {
+			return 0
+		}
+		return 100 * v / tot
+	}
+
+	for name, a := range aggs {
+		res.Fig5a = append(res.Fig5a, AppPopularity{
+			App:                name,
+			DailyUsersSharePct: pct(perApp[name].assoc, totAssoc),
+			UsedDaysSharePct:   pct(perApp[name].usedDaysPerUser, totUsedDays),
+		})
+		res.Fig5b = append(res.Fig5b, AppUsage{
+			App:          name,
+			FreqSharePct: pct(a.usageCount, totUsages),
+			TxSharePct:   pct(a.tx, totTx),
+			DataSharePct: pct(a.bytes, totBytes),
+		})
+		res.Fig7 = append(res.Fig7, PerUsage{
+			App:          name,
+			TxPerUsage:   a.perUsageTx.Mean(),
+			KBPerUsage:   a.perUsageKB.Mean(),
+			UsageSamples: a.perUsageTx.N(),
+		})
+	}
+	sort.Slice(res.Fig5a, func(i, j int) bool { return res.Fig5a[i].DailyUsersSharePct > res.Fig5a[j].DailyUsersSharePct })
+	sort.Slice(res.Fig5b, func(i, j int) bool { return res.Fig5b[i].FreqSharePct > res.Fig5b[j].FreqSharePct })
+	sort.Slice(res.Fig7, func(i, j int) bool { return res.Fig7[i].KBPerUsage > res.Fig7[j].KBPerUsage })
+
+	// Fig 6: category shares. Users associate with a category once per
+	// (day, user) regardless of how many of its apps they touch.
+	type catAgg struct {
+		dayUsers map[simtime.Day]map[subs.IMSI]struct{}
+		usages   float64
+		tx       float64
+		bytes    float64
+	}
+	cats := make(map[apps.Category]*catAgg)
+	for _, a := range aggs {
+		c := cats[a.app.Category]
+		if c == nil {
+			c = &catAgg{dayUsers: make(map[simtime.Day]map[subs.IMSI]struct{})}
+			cats[a.app.Category] = c
+		}
+		for d, users := range a.dayUsers {
+			if c.dayUsers[d] == nil {
+				c.dayUsers[d] = make(map[subs.IMSI]struct{})
+			}
+			for u := range users {
+				c.dayUsers[d][u] = struct{}{}
+			}
+		}
+		c.usages += a.usageCount
+		c.tx += a.tx
+		c.bytes += a.bytes
+	}
+	var totCatAssoc float64
+	catAssoc := make(map[apps.Category]float64)
+	for cat, c := range cats {
+		var assoc float64
+		for _, set := range c.dayUsers {
+			assoc += float64(len(set))
+		}
+		catAssoc[cat] = assoc
+		totCatAssoc += assoc
+	}
+	for cat, c := range cats {
+		res.Fig6 = append(res.Fig6, CategoryShare{
+			Category:      cat,
+			UsersSharePct: pct(catAssoc[cat], totCatAssoc),
+			FreqSharePct:  pct(c.usages, totUsages),
+			TxSharePct:    pct(c.tx, totTx),
+			DataSharePct:  pct(c.bytes, totBytes),
+		})
+	}
+	sort.Slice(res.Fig6, func(i, j int) bool { return res.Fig6[i].UsersSharePct > res.Fig6[j].UsersSharePct })
+
+	// Fig 8: transaction categories over all wearable records.
+	type kindAgg struct {
+		dayUsers map[simtime.Day]map[subs.IMSI]struct{}
+		tx       float64
+		bytes    float64
+	}
+	var kinds [apps.NumDomainKinds]kindAgg
+	for i := range kinds {
+		kinds[i].dayUsers = make(map[simtime.Day]map[subs.IMSI]struct{})
+	}
+	for _, rec := range s.wearRecs {
+		k := s.resolver.KindOfHost(rec.Host)
+		d := simtime.DayOf(rec.Time)
+		if kinds[k].dayUsers[d] == nil {
+			kinds[k].dayUsers[d] = make(map[subs.IMSI]struct{})
+		}
+		kinds[k].dayUsers[d][rec.IMSI] = struct{}{}
+		kinds[k].tx++
+		kinds[k].bytes += float64(rec.Bytes())
+	}
+	var totKindUsers, totKindTx, totKindBytes float64
+	kindUsers := make([]float64, apps.NumDomainKinds)
+	for i := range kinds {
+		for _, set := range kinds[i].dayUsers {
+			kindUsers[i] += float64(len(set))
+		}
+		totKindUsers += kindUsers[i]
+		totKindTx += kinds[i].tx
+		totKindBytes += kinds[i].bytes
+	}
+	for i := range kinds {
+		res.Fig8[i] = DomainKindShare{
+			Kind:          apps.DomainKind(i),
+			UsersSharePct: pct(kindUsers[i], totKindUsers),
+			FreqSharePct:  pct(kinds[i].tx, totKindTx),
+			DataSharePct:  pct(kinds[i].bytes, totKindBytes),
+		}
+	}
+
+	// §4.3 takeaways.
+	var appsPerUser []float64
+	maxApps := 0
+	for _, set := range userApps {
+		n := len(set)
+		appsPerUser = append(appsPerUser, float64(n))
+		if n > maxApps {
+			maxApps = n
+		}
+	}
+	e := stats.NewECDF(appsPerUser)
+	res.Takeaways.MeanAppsPerUser = e.Mean()
+	res.Takeaways.FracUnder20Apps = e.At(19.5)
+	res.Takeaways.MaxAppsPerUser = maxApps
+
+	oneApp, activeDays := 0, 0
+	for _, days := range dayApps {
+		for _, set := range days {
+			activeDays++
+			if len(set) == 1 {
+				oneApp++
+			}
+		}
+	}
+	if activeDays > 0 {
+		res.Takeaways.OneAppDayFrac = float64(oneApp) / float64(activeDays)
+	}
+}
+
+// throughDevice computes the conclusion's fingerprinting comparison. It
+// runs after mobility so it can reuse the SIM-wearable displacement mean.
+func (s *Study) throughDevice(res *Results) {
+	det := fingerprint.NewDetector(fingerprint.DefaultSignatures())
+	dets := det.Detect(s.ds.Proxy.Records, func(u subs.IMSI) bool { return !s.ix.IsWearableUser(u) })
+	res.TD.Identified = len(dets)
+	res.TD.ByService = fingerprint.ByService(dets)
+	res.TD.MeanDispSIMKm = res.Fig4c.OwnerMeanKm
+
+	detected := make(map[subs.IMSI]struct{}, len(dets))
+	for _, d := range dets {
+		detected[d.IMSI] = struct{}{}
+	}
+	tdMob := s.analyzer.Collect(s.ds.MME.Records, simtime.Detail(), func(r mme.Record) bool {
+		if _, ok := detected[r.IMSI]; !ok {
+			return false
+		}
+		m, ok := s.ds.Devices.Lookup(r.IMEI)
+		return ok && m.Class == devicedb.Smartphone
+	})
+	var disp stats.Summary
+	for _, m := range tdMob {
+		disp.Add(m.MeanDailyMaxKm())
+	}
+	res.TD.MeanDispTDKm = disp.Mean()
+
+	// Handset modernity: mean release year of detected TD users' phones vs
+	// the other non-wearable subscribers'.
+	var tdYear, otherYear stats.Summary
+	for _, user := range s.ix.OrdinaryUsers() {
+		year := 0
+		for _, dev := range s.ix.Devices(user) {
+			if m, ok := s.ds.Devices.Lookup(dev); ok && m.Class == devicedb.Smartphone && m.Year > year {
+				year = m.Year
+			}
+		}
+		if year == 0 {
+			continue
+		}
+		if _, ok := detected[user]; ok {
+			tdYear.Add(float64(year))
+		} else {
+			otherYear.Add(float64(year))
+		}
+	}
+	res.TD.MeanPhoneYearTD = tdYear.Mean()
+	res.TD.MeanPhoneYearOther = otherYear.Mean()
+
+	// Macroscopic pattern similarity: hourly activity profile of the
+	// detected TD users' companion traffic vs the SIM wearables'.
+	var simHours, tdHours [24]float64
+	for _, rec := range s.wearRecs {
+		simHours[rec.Time.Hour()]++
+	}
+	for _, rec := range s.ds.Proxy.Records {
+		if _, isTD := detected[rec.IMSI]; !isTD {
+			continue
+		}
+		if _, ok := det.ServiceOfHost(rec.Host); ok {
+			tdHours[rec.Time.Hour()]++
+		}
+	}
+	res.TD.PatternSimilarity = cosine(simHours[:], tdHours[:])
+}
+
+// cosine returns the cosine similarity of two non-negative vectors.
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,85 @@
+package core
+
+// Per-figure entry points. Run computes everything at once; these wrappers
+// compute one figure in isolation so the benchmark harness can time and
+// regenerate each of the paper's figures independently.
+
+// ComputeFig2a computes the adoption series.
+func (s *Study) ComputeFig2a() Adoption {
+	var r Results
+	s.adoption(&r)
+	return r.Fig2a
+}
+
+// ComputeFig2b computes the retention comparison.
+func (s *Study) ComputeFig2b() Retention {
+	var r Results
+	s.retention(&r)
+	return r.Fig2b
+}
+
+// ComputeFig3a computes the hourly usage pattern.
+func (s *Study) ComputeFig3a() HourlyPattern {
+	var r Results
+	s.hourlyPattern(&r)
+	return r.Fig3a
+}
+
+// ComputeFig3b computes the activity distributions.
+func (s *Study) ComputeFig3b() ActivityDistributions {
+	var r Results
+	s.activityDistributions(&r)
+	return r.Fig3b
+}
+
+// ComputeFig3c computes the transaction statistics.
+func (s *Study) ComputeFig3c() Transactions {
+	var r Results
+	s.transactions(&r)
+	return r.Fig3c
+}
+
+// ComputeFig3d computes the hours-activity coupling.
+func (s *Study) ComputeFig3d() ActivityCoupling {
+	var r Results
+	s.activityCoupling(&r)
+	return r.Fig3d
+}
+
+// ComputeFig4a computes the owners-vs-rest volume comparison.
+func (s *Study) ComputeFig4a() OwnersVsRest {
+	var r Results
+	s.ownersVsRest(&r)
+	return r.Fig4a
+}
+
+// ComputeFig4b computes the wearable device share.
+func (s *Study) ComputeFig4b() DeviceShare {
+	var r Results
+	s.deviceShare(&r)
+	return r.Fig4b
+}
+
+// ComputeFig4c computes mobility (and, as a byproduct, Fig 4d).
+func (s *Study) ComputeFig4c() (Mobility, MobilityCoupling) {
+	var r Results
+	s.mobility(&r)
+	return r.Fig4c, r.Fig4d
+}
+
+// ComputeAppFigures computes the application analyses (Figs 5–8 and the
+// §4.3 takeaways), which share one sessionisation pass.
+func (s *Study) ComputeAppFigures() *Results {
+	var r Results
+	s.appFigures(&r)
+	return &r
+}
+
+// ComputeThroughDevice computes the fingerprinting comparison. The SIM
+// displacement baseline comes from the mobility analysis.
+func (s *Study) ComputeThroughDevice() ThroughDevice {
+	var r Results
+	s.mobility(&r)
+	s.throughDevice(&r)
+	return r.TD
+}

@@ -1,0 +1,276 @@
+// Package core runs the paper's full analysis over a dataset and returns a
+// Results tree with one structure per figure and per quantitative
+// takeaway. The pipeline consumes only the three vantage-point logs and
+// the device database — never the generation ground truth — so it is the
+// same study a real operator would run.
+package core
+
+import (
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/simtime"
+)
+
+// Series is a plottable CDF: sorted x values with cumulative probability.
+type Series struct {
+	X []float64
+	P []float64
+}
+
+// Results carries every reproduced figure and takeaway.
+type Results struct {
+	Fig2a Adoption
+	Fig2b Retention
+	Fig3a HourlyPattern
+	Fig3b ActivityDistributions
+	Fig3c Transactions
+	Fig3d ActivityCoupling
+	Fig4a OwnersVsRest
+	Fig4b DeviceShare
+	Fig4c Mobility
+	Fig4d MobilityCoupling
+	Fig5a []AppPopularity
+	Fig5b []AppUsage
+	Fig6  []CategoryShare
+	Fig7  []PerUsage
+	Fig8  [apps.NumDomainKinds]DomainKindShare
+
+	// Weekly is the §4.2 stability analysis ("no clear weekly pattern").
+	Weekly WeeklyTrend
+
+	// PlanCost quantifies the Fig 8 discussion: the share of a wearable
+	// data plan consumed by advertising and analytics traffic.
+	PlanCost PlanCost
+
+	Takeaways Takeaways
+	TD        ThroughDevice
+}
+
+// Adoption is Fig 2(a): the daily count of SIM-wearable users registered
+// with the MME, normalised by the final value, plus the headline rates.
+type Adoption struct {
+	Days       []simtime.Day
+	Normalized []float64
+	// MonthlyGrowthPct is the fitted growth rate per 30.44 days.
+	MonthlyGrowthPct float64
+	// TotalGrowthPct is last-vs-first percentage growth.
+	TotalGrowthPct float64
+	// DataActiveShare is the fraction of registered wearable users who
+	// ever transmitted data over cellular (paper: 34%).
+	DataActiveShare float64
+	// WearableUsers is the absolute number of identified wearable users.
+	WearableUsers int
+}
+
+// Retention is Fig 2(b): first-week users followed to the last week.
+type Retention struct {
+	FirstWeekUsers int
+	// RetainedFrac is the share of first-week users present in the last
+	// week (paper: 77%).
+	RetainedFrac float64
+	// AbandonedFrac is the share never seen again after the first week
+	// (paper: 7%).
+	AbandonedFrac float64
+	// IntermittentFrac is the remainder: seen again, but not in the last
+	// week.
+	IntermittentFrac float64
+}
+
+// HourlyPattern is Fig 3(a): hour-of-day activity, weekday vs weekend,
+// each series normalised by its weekly total.
+type HourlyPattern struct {
+	WeekdayUsers [24]float64
+	WeekendUsers [24]float64
+	WeekdayTx    [24]float64
+	WeekendTx    [24]float64
+	WeekdayBytes [24]float64
+	WeekendBytes [24]float64
+	// DailyActiveShare is the average share of a week's active users who
+	// are active on a given day (paper: ≈35%).
+	DailyActiveShare float64
+	// RelativeWeekendFactor compares the wearables' weekend share of
+	// weekly transactions to the ISP baseline's (here: the sampled
+	// handset traffic); >1 matches the paper's "relative usage of
+	// wearables is slightly higher on weekends".
+	RelativeWeekendFactor float64
+	// RelativeEveningFactor is the same ratio for the 6pm-midnight hours.
+	RelativeEveningFactor float64
+}
+
+// ActivityDistributions is Fig 3(b): per-user active days per week and
+// per-day active hours.
+type ActivityDistributions struct {
+	DaysPerWeek Series
+	HoursPerDay Series
+	MeanDays    float64
+	MeanHours   float64
+	FracUnder5h float64
+	FracOver10h float64
+}
+
+// Transactions is Fig 3(c): transaction sizes plus per-user hourly rates.
+type Transactions struct {
+	SizeCDF         Series
+	MedianSizeBytes float64
+	FracUnder10KB   float64
+	HourlyTxPerUser Series
+	HourlyKBPerUser Series
+	// SizeHistogram is the log-binned size distribution behind the CDF:
+	// bin edges in bytes with each bin's share of transactions.
+	SizeHistogram []HistBin
+	// WearableLogSizeStd/PhoneLogSizeStd are the standard deviations of
+	// ln(size): the paper notes smartphone sizes also average ~3 KB "but
+	// the distribution is not as skewed as wearables" — the handset mix
+	// spreads wider while wearables centre sharply.
+	WearableLogSizeStd float64
+	PhoneLogSizeStd    float64
+}
+
+// HistBin is one histogram bin: [Lo, Hi) bytes holding Share of the
+// observations.
+type HistBin struct {
+	Lo, Hi float64
+	Share  float64
+}
+
+// ActivityCoupling is Fig 3(d): daily active hours vs transactions per
+// hour.
+type ActivityCoupling struct {
+	// HoursBucket[i] pairs with TxPerHour[i]: the mean tx/hour of users
+	// averaging that many active hours per day.
+	HoursBucket []float64
+	TxPerHour   []float64
+	Spearman    float64
+}
+
+// OwnersVsRest is Fig 4(a): total traffic of wearable owners vs the
+// remaining customers, CDFs normalised by the maximum user.
+type OwnersVsRest struct {
+	OwnerBytes Series // normalised to the max user
+	RestBytes  Series
+	// DataGainPct is mean owner bytes over mean rest bytes - 1 (paper:
+	// +26%); TxGainPct the analogue for transactions (paper: +48%).
+	DataGainPct float64
+	TxGainPct   float64
+}
+
+// DeviceShare is Fig 4(b): the wearable's share of its owner's traffic.
+type DeviceShare struct {
+	ShareCDF    Series
+	MedianShare float64
+	// FracOver3Pct is the share of users drawing ≥3% of their traffic
+	// from the wearable (paper: ≈10% of users at 3%).
+	FracOver3Pct float64
+	// OrdersOfMagnitude is log10(1/median share) (paper: ≈3).
+	OrdersOfMagnitude float64
+}
+
+// Mobility is Fig 4(c) plus the §4.4 takeaways.
+type Mobility struct {
+	OwnerDisplacement Series // per-user mean daily max displacement, km
+	RestDisplacement  Series
+	OwnerMeanKm       float64
+	RestMeanKm        float64
+	OwnerP90Km        float64
+	// EntropyGainPct is the owners' mean location entropy over the rest's
+	// (paper: +70%).
+	EntropyGainPct float64
+	// NonStationaryOwnerMeanKm/RestMeanKm restrict to moving users.
+	NonStationaryOwnerMeanKm float64
+	NonStationaryRestMeanKm  float64
+	// SingleLocationFrac is the share of data-transmitting wearable users
+	// whose transactions all came from one sector (paper: 60%).
+	SingleLocationFrac float64
+}
+
+// MobilityCoupling is Fig 4(d): displacement vs transaction intensity.
+type MobilityCoupling struct {
+	DisplacementBucketKm []float64
+	TxPerHour            []float64
+	Spearman             float64
+}
+
+// AppPopularity is one Fig 5(a) row.
+type AppPopularity struct {
+	App string
+	// DailyUsersSharePct is the app's share of daily (user, app)
+	// associations, percent of the daily total across apps.
+	DailyUsersSharePct float64
+	// UsedDaysSharePct is the app's share of app-used days.
+	UsedDaysSharePct float64
+}
+
+// AppUsage is one Fig 5(b) row.
+type AppUsage struct {
+	App          string
+	FreqSharePct float64 // share of usages
+	TxSharePct   float64 // share of transactions
+	DataSharePct float64 // share of bytes
+}
+
+// CategoryShare is one Fig 6 row (drives all four panels).
+type CategoryShare struct {
+	Category      apps.Category
+	UsersSharePct float64
+	FreqSharePct  float64
+	TxSharePct    float64
+	DataSharePct  float64
+}
+
+// PerUsage is one Fig 7 row.
+type PerUsage struct {
+	App          string
+	TxPerUsage   float64
+	KBPerUsage   float64
+	UsageSamples int
+}
+
+// DomainKindShare is one Fig 8 bar group.
+type DomainKindShare struct {
+	Kind          apps.DomainKind
+	UsersSharePct float64
+	FreqSharePct  float64
+	DataSharePct  float64
+}
+
+// Takeaways carries the §4.3 textual numbers.
+type Takeaways struct {
+	// Apps observed per user over the detail window (the paper's "apps
+	// requiring Internet access": mean 8, 90% < 20, heavy tail).
+	MeanAppsPerUser float64
+	FracUnder20Apps float64
+	MaxAppsPerUser  int
+	// OneAppDayFrac is the share of active user-days touching exactly one
+	// app (paper: 93%).
+	OneAppDayFrac float64
+}
+
+// PlanCost summarises the third-party data-plan overhead (Fig 8
+// discussion: ads/analytics consume part of the user's allowance).
+type PlanCost struct {
+	PlanMB float64
+	// MeanOverheadShare is the mean ads+analytics fraction of a user's
+	// wearable traffic.
+	MeanOverheadShare float64
+	// MeanPlanSharePct/MaxPlanSharePct are the mean and worst-case
+	// percentage of the monthly plan burned by ads+analytics.
+	MeanPlanSharePct float64
+	MaxPlanSharePct  float64
+}
+
+// ThroughDevice carries the conclusion's fingerprinting results.
+type ThroughDevice struct {
+	Identified int
+	ByService  map[string]int
+	// MeanDispTDKm/MeanDispSIMKm compare detected TD users' mobility to
+	// SIM-wearable users' (paper: similar patterns).
+	MeanDispTDKm  float64
+	MeanDispSIMKm float64
+	// MeanPhoneYearTD/Other compare handset release years: the paper
+	// notes TD users carry "relatively modern smartphones".
+	MeanPhoneYearTD    float64
+	MeanPhoneYearOther float64
+	// PatternSimilarity is the cosine similarity between the hourly
+	// activity profile of detected TD companion traffic and the SIM
+	// wearables' profile (paper: "similar macroscopic behavior").
+	PatternSimilarity float64
+}

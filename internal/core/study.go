@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/simtime"
+	"wearwild/internal/stats"
+
+	"wearwild/internal/gen/sim"
+	"wearwild/internal/study/appid"
+	"wearwild/internal/study/identify"
+	"wearwild/internal/study/mobmetrics"
+	"wearwild/internal/study/plancost"
+)
+
+// Config controls the study.
+type Config struct {
+	// SessionGap is the usage boundary (§5.1). Zero selects the paper's
+	// one minute.
+	SessionGap time.Duration
+	// CDFPoints bounds the resolution of exported CDF series.
+	CDFPoints int
+}
+
+// DefaultConfig returns the paper's analysis parameters.
+func DefaultConfig() Config {
+	return Config{SessionGap: time.Minute, CDFPoints: 200}
+}
+
+// Study is the analysis pipeline bound to one dataset.
+type Study struct {
+	ds       *sim.Dataset
+	cfg      Config
+	ix       *identify.Index
+	resolver *appid.Resolver
+	analyzer *mobmetrics.Analyzer
+
+	// wearRecs is the proxy log restricted to wearable devices.
+	wearRecs []proxylog.Record
+}
+
+// NewStudy prepares a study over a dataset.
+func NewStudy(ds *sim.Dataset, cfg Config) (*Study, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if cfg.SessionGap <= 0 {
+		cfg.SessionGap = time.Minute
+	}
+	if cfg.CDFPoints <= 0 {
+		cfg.CDFPoints = 200
+	}
+	analyzer, err := mobmetrics.New(ds.Topology)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{
+		ds:       ds,
+		cfg:      cfg,
+		resolver: appid.NewResolver(ds.Catalog),
+		analyzer: analyzer,
+	}
+	s.ix = identify.Build(ds.Devices, &ds.MME, &ds.Proxy, &ds.UDR)
+	for _, rec := range ds.Proxy.Records {
+		if ds.Devices.IsWearable(rec.IMEI) {
+			s.wearRecs = append(s.wearRecs, rec)
+		}
+	}
+	return s, nil
+}
+
+// Index exposes the identification result.
+func (s *Study) Index() *identify.Index { return s.ix }
+
+// WearableRecords exposes the wearable-only proxy slice.
+func (s *Study) WearableRecords() []proxylog.Record { return s.wearRecs }
+
+// Run executes every analysis and assembles the Results tree.
+func (s *Study) Run() (*Results, error) {
+	if s.ix.NumWearableUsers() == 0 {
+		return nil, fmt.Errorf("core: no SIM-enabled wearable users identified")
+	}
+	res := &Results{}
+
+	s.adoption(res)
+	s.retention(res)
+	s.hourlyPattern(res)
+	s.activityDistributions(res)
+	s.transactions(res)
+	s.activityCoupling(res)
+	s.ownersVsRest(res)
+	s.deviceShare(res)
+	s.mobility(res)
+	s.appFigures(res)
+	s.throughDevice(res)
+	res.Weekly = s.ComputeWeeklyTrend()
+	s.planCost(res)
+
+	return res, nil
+}
+
+// planCost computes the Fig 8 discussion's data-plan overhead figures.
+func (s *Study) planCost(res *Results) {
+	rep, err := plancost.Analyze(s.resolver, s.wearRecs, plancost.WindowDaysOf(s.wearRecs), 0)
+	if err != nil {
+		return
+	}
+	res.PlanCost = PlanCost{
+		PlanMB:            rep.PlanBytes / (1 << 20),
+		MeanOverheadShare: rep.MeanOverheadShare,
+		MeanPlanSharePct:  rep.MeanPlanSharePct,
+		MaxPlanSharePct:   rep.MaxPlanSharePct,
+	}
+}
+
+// cdf converts a sample to an exported Series.
+func (s *Study) cdf(sample []float64) Series {
+	e := stats.NewECDF(sample)
+	xs, ps := e.Points(s.cfg.CDFPoints)
+	return Series{X: xs, P: ps}
+}
+
+// detailWeeks is the number of weeks in the detail window.
+func detailWeeks() int { return simtime.Detail().Weeks() }

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/simtime"
+	"wearwild/internal/stats"
+
+	"wearwild/internal/study/mobmetrics"
+	"wearwild/internal/study/usermetrics"
+)
+
+// wearablePresence returns, per day, the set of wearable users registered
+// at the MME.
+func (s *Study) wearablePresence() map[simtime.Day]map[subs.IMSI]struct{} {
+	out := make(map[simtime.Day]map[subs.IMSI]struct{})
+	window := simtime.FullStudy()
+	for _, rec := range s.ds.MME.Records {
+		if !s.ds.Devices.IsWearable(rec.IMEI) {
+			continue
+		}
+		d := simtime.DayOf(rec.Time)
+		if !window.Contains(d) {
+			continue
+		}
+		set := out[d]
+		if set == nil {
+			set = make(map[subs.IMSI]struct{})
+			out[d] = set
+		}
+		set[rec.IMSI] = struct{}{}
+	}
+	return out
+}
+
+// adoption computes Fig 2(a).
+func (s *Study) adoption(res *Results) {
+	presence := s.wearablePresence()
+
+	days := make([]simtime.Day, 0, len(presence))
+	for d := range presence {
+		days = append(days, d)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+
+	counts := make([]float64, len(days))
+	for i, d := range days {
+		counts[i] = float64(len(presence[d]))
+	}
+	norm := make([]float64, len(counts))
+	if n := len(counts); n > 0 && counts[n-1] > 0 {
+		for i, c := range counts {
+			norm[i] = c / counts[n-1]
+		}
+	}
+	res.Fig2a.Days = days
+	res.Fig2a.Normalized = norm
+
+	// Growth: total from week-averaged endpoints, monthly rate from a
+	// least-squares line over the whole daily series (robust to the
+	// day-to-day registration noise a thousands-scale sample carries).
+	if len(counts) >= 14 {
+		first := mean(counts[:7])
+		last := mean(counts[len(counts)-7:])
+		if first > 0 {
+			res.Fig2a.TotalGrowthPct = 100 * (last/first - 1)
+		}
+		slope, intercept := linearFit(days, counts)
+		if start := intercept + slope*float64(days[0]); start > 0 {
+			res.Fig2a.MonthlyGrowthPct = 100 * slope * 30.44 / start
+		}
+	}
+
+	// Data-active share: registered wearable users who ever transmitted.
+	active := make(map[subs.IMSI]struct{})
+	for _, rec := range s.ds.UDR.Records {
+		if rec.Bytes > 0 && s.ds.Devices.IsWearable(rec.IMEI) {
+			active[rec.IMSI] = struct{}{}
+		}
+	}
+	res.Fig2a.WearableUsers = s.ix.NumWearableUsers()
+	if res.Fig2a.WearableUsers > 0 {
+		res.Fig2a.DataActiveShare = float64(len(active)) / float64(res.Fig2a.WearableUsers)
+	}
+}
+
+// retention computes Fig 2(b).
+func (s *Study) retention(res *Results) {
+	presence := s.wearablePresence()
+	inWindow := func(w simtime.Window) map[subs.IMSI]struct{} {
+		set := make(map[subs.IMSI]struct{})
+		for d, users := range presence {
+			if w.Contains(d) {
+				for u := range users {
+					set[u] = struct{}{}
+				}
+			}
+		}
+		return set
+	}
+	study := simtime.FullStudy()
+	first := inWindow(study.FirstWeek())
+	last := inWindow(study.LastWeek())
+	// "Abandoned" means silent for the final month of the window — a full
+	// month off the network separates churn from intermittent use.
+	after := inWindow(simtime.Window{Start: study.End - 4*simtime.DaysPerWeek, End: study.End})
+
+	res.Fig2b.FirstWeekUsers = len(first)
+	if len(first) == 0 {
+		return
+	}
+	retained, abandoned := 0, 0
+	for u := range first {
+		if _, ok := last[u]; ok {
+			retained++
+		}
+		if _, ok := after[u]; !ok {
+			abandoned++
+		}
+	}
+	n := float64(len(first))
+	res.Fig2b.RetainedFrac = float64(retained) / n
+	res.Fig2b.AbandonedFrac = float64(abandoned) / n
+	res.Fig2b.IntermittentFrac = 1 - res.Fig2b.RetainedFrac - res.Fig2b.AbandonedFrac
+}
+
+// hourlyPattern computes Fig 3(a).
+func (s *Study) hourlyPattern(res *Results) {
+	type cell struct {
+		users map[subs.IMSI]struct{}
+		tx    float64
+		bytes float64
+	}
+	grid := make(map[simtime.Day]*[24]cell)
+	weekUsers := make(map[simtime.Week]map[subs.IMSI]struct{})
+	dayUsers := make(map[simtime.Day]map[subs.IMSI]struct{})
+
+	for _, rec := range s.wearRecs {
+		d := simtime.DayOf(rec.Time)
+		h := rec.Time.Hour()
+		row := grid[d]
+		if row == nil {
+			row = new([24]cell)
+			grid[d] = row
+		}
+		c := &row[h]
+		if c.users == nil {
+			c.users = make(map[subs.IMSI]struct{})
+		}
+		c.users[rec.IMSI] = struct{}{}
+		c.tx++
+		c.bytes += float64(rec.Bytes())
+
+		w := d.Week()
+		if weekUsers[w] == nil {
+			weekUsers[w] = make(map[subs.IMSI]struct{})
+		}
+		weekUsers[w][rec.IMSI] = struct{}{}
+		if dayUsers[d] == nil {
+			dayUsers[d] = make(map[subs.IMSI]struct{})
+		}
+		dayUsers[d][rec.IMSI] = struct{}{}
+	}
+
+	var weekdayDays, weekendDays float64
+	var wu, eu, wt, et, wb, eb [24]float64
+	for d, row := range grid {
+		weekend := d.IsWeekend()
+		if weekend {
+			weekendDays++
+		} else {
+			weekdayDays++
+		}
+		for h := 0; h < 24; h++ {
+			c := row[h]
+			if weekend {
+				eu[h] += float64(len(c.users))
+				et[h] += c.tx
+				eb[h] += c.bytes
+			} else {
+				wu[h] += float64(len(c.users))
+				wt[h] += c.tx
+				wb[h] += c.bytes
+			}
+		}
+	}
+
+	// Weekly normalisers: average per-week distinct users, transactions
+	// and bytes.
+	var weeklyUsers float64
+	for _, set := range weekUsers {
+		weeklyUsers += float64(len(set))
+	}
+	if n := float64(len(weekUsers)); n > 0 {
+		weeklyUsers /= n
+	}
+	weeks := float64(detailWeeks())
+	var totTx, totBytes float64
+	for _, row := range grid {
+		for h := 0; h < 24; h++ {
+			totTx += row[h].tx
+			totBytes += row[h].bytes
+		}
+	}
+	weeklyTx := totTx / weeks
+	weeklyBytes := totBytes / weeks
+
+	norm := func(sum [24]float64, daysN, weekly float64) [24]float64 {
+		var out [24]float64
+		if daysN == 0 || weekly == 0 {
+			return out
+		}
+		for h := 0; h < 24; h++ {
+			out[h] = sum[h] / daysN / weekly
+		}
+		return out
+	}
+	res.Fig3a.WeekdayUsers = norm(wu, weekdayDays, weeklyUsers)
+	res.Fig3a.WeekendUsers = norm(eu, weekendDays, weeklyUsers)
+	res.Fig3a.WeekdayTx = norm(wt, weekdayDays, weeklyTx)
+	res.Fig3a.WeekendTx = norm(et, weekendDays, weeklyTx)
+	res.Fig3a.WeekdayBytes = norm(wb, weekdayDays, weeklyBytes)
+	res.Fig3a.WeekendBytes = norm(eb, weekendDays, weeklyBytes)
+
+	var dailySum float64
+	for _, set := range dayUsers {
+		dailySum += float64(len(set))
+	}
+	if len(dayUsers) > 0 && weeklyUsers > 0 {
+		res.Fig3a.DailyActiveShare = dailySum / float64(len(dayUsers)) / weeklyUsers
+	}
+
+	// Relative weekend/evening usage vs the ISP baseline (§4.2): compare
+	// the wearables' share of transactions falling on weekends (and in the
+	// evening hours) against the same share in the sampled handset
+	// traffic.
+	shareOf := func(recs []proxylog.Record, in func(simtime.Day, int) bool) float64 {
+		var hit, total float64
+		for _, rec := range recs {
+			total++
+			if in(simtime.DayOf(rec.Time), rec.Time.Hour()) {
+				hit++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return hit / total
+	}
+	var phoneRecs []proxylog.Record
+	for _, rec := range s.ds.Proxy.Records {
+		if !s.ds.Devices.IsWearable(rec.IMEI) {
+			phoneRecs = append(phoneRecs, rec)
+		}
+	}
+	weekend := func(d simtime.Day, _ int) bool { return d.IsWeekend() }
+	evening := func(_ simtime.Day, h int) bool { return h >= 18 }
+	if base := shareOf(phoneRecs, weekend); base > 0 {
+		res.Fig3a.RelativeWeekendFactor = shareOf(s.wearRecs, weekend) / base
+	}
+	if base := shareOf(phoneRecs, evening); base > 0 {
+		res.Fig3a.RelativeEveningFactor = shareOf(s.wearRecs, evening) / base
+	}
+}
+
+// activityDistributions computes Fig 3(b).
+func (s *Study) activityDistributions(res *Results) {
+	acts := usermetrics.Collect(s.wearRecs, nil)
+	var daysPerWeek, hoursPerDay []float64
+	for _, a := range acts {
+		daysPerWeek = append(daysPerWeek, a.DaysPerWeek(detailWeeks()))
+		hoursPerDay = append(hoursPerDay, a.HoursPerActiveDay()...)
+	}
+	res.Fig3b.DaysPerWeek = s.cdf(daysPerWeek)
+	res.Fig3b.HoursPerDay = s.cdf(hoursPerDay)
+
+	ed := stats.NewECDF(daysPerWeek)
+	eh := stats.NewECDF(hoursPerDay)
+	res.Fig3b.MeanDays = ed.Mean()
+	res.Fig3b.MeanHours = eh.Mean()
+	res.Fig3b.FracUnder5h = eh.At(5)
+	res.Fig3b.FracOver10h = 1 - eh.At(10)
+}
+
+// transactions computes Fig 3(c).
+func (s *Study) transactions(res *Results) {
+	sizes := make([]float64, 0, len(s.wearRecs))
+	for _, rec := range s.wearRecs {
+		sizes = append(sizes, float64(rec.Bytes()))
+	}
+	res.Fig3c.SizeCDF = s.cdf(sizes)
+	es := stats.NewECDF(sizes)
+	res.Fig3c.MedianSizeBytes = es.Quantile(0.5)
+	res.Fig3c.FracUnder10KB = es.At(10 * 1024)
+
+	// Log-binned histogram: sizes span several orders of magnitude, so the
+	// "sharply centred around 3 KB" claim reads best on log bins.
+	if hist, err := stats.NewLogHistogram(200, 1<<22, 16); err == nil {
+		for _, v := range sizes {
+			hist.Add(v)
+		}
+		fracs := hist.Fractions()
+		for i := 0; i < hist.Bins(); i++ {
+			lo, hi := hist.BinEdges(i)
+			res.Fig3c.SizeHistogram = append(res.Fig3c.SizeHistogram, HistBin{Lo: lo, Hi: hi, Share: fracs[i]})
+		}
+	}
+
+	acts := usermetrics.Collect(s.wearRecs, nil)
+	var tx, kb []float64
+	for _, a := range acts {
+		tx = append(tx, a.TxPerActiveHour())
+		kb = append(kb, a.BytesPerActiveHour()/1024)
+	}
+	res.Fig3c.HourlyTxPerUser = s.cdf(tx)
+	res.Fig3c.HourlyKBPerUser = s.cdf(kb)
+
+	// Concentration comparison with handsets (§4.3): std of log sizes.
+	var wearLog, phoneLog stats.Summary
+	for _, rec := range s.wearRecs {
+		if b := rec.Bytes(); b > 0 {
+			wearLog.Add(math.Log(float64(b)))
+		}
+	}
+	for _, rec := range s.ds.Proxy.Records {
+		if s.ds.Devices.IsWearable(rec.IMEI) {
+			continue
+		}
+		if b := rec.Bytes(); b > 0 {
+			phoneLog.Add(math.Log(float64(b)))
+		}
+	}
+	res.Fig3c.WearableLogSizeStd = wearLog.Std()
+	res.Fig3c.PhoneLogSizeStd = phoneLog.Std()
+}
+
+// activityCoupling computes Fig 3(d).
+func (s *Study) activityCoupling(res *Results) {
+	acts := usermetrics.Collect(s.wearRecs, nil)
+	var xs, ys []float64
+	buckets := make(map[int]*stats.Summary)
+	for _, a := range acts {
+		h := a.MeanHoursPerActiveDay()
+		t := a.TxPerActiveHour()
+		if h == 0 {
+			continue
+		}
+		xs = append(xs, h)
+		ys = append(ys, t)
+		b := int(math.Round(h))
+		if buckets[b] == nil {
+			buckets[b] = &stats.Summary{}
+		}
+		buckets[b].Add(t)
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if buckets[k].N() < 3 {
+			continue // too thin to plot
+		}
+		res.Fig3d.HoursBucket = append(res.Fig3d.HoursBucket, float64(k))
+		res.Fig3d.TxPerHour = append(res.Fig3d.TxPerHour, buckets[k].Mean())
+	}
+	res.Fig3d.Spearman = stats.Spearman(xs, ys)
+}
+
+// ownersVsRest computes Fig 4(a).
+func (s *Study) ownersVsRest(res *Results) {
+	totals := usermetrics.TotalsFromUDR(s.ds.UDR.Records, simtime.Detail(), s.ds.Devices.IsWearable)
+	var ownerB, restB []float64
+	var ownerT, restT stats.Summary
+	var ownerBS, restBS stats.Summary
+	for user, t := range totals {
+		if s.ix.IsWearableUser(user) {
+			ownerB = append(ownerB, float64(t.Bytes))
+			ownerBS.Add(float64(t.Bytes))
+			ownerT.Add(float64(t.Transactions))
+		} else {
+			restB = append(restB, float64(t.Bytes))
+			restBS.Add(float64(t.Bytes))
+			restT.Add(float64(t.Transactions))
+		}
+	}
+	// Normalise both CDFs by the global maximum, as the paper does for
+	// confidentiality.
+	var max float64
+	for _, v := range append(append([]float64{}, ownerB...), restB...) {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range ownerB {
+			ownerB[i] /= max
+		}
+		for i := range restB {
+			restB[i] /= max
+		}
+	}
+	res.Fig4a.OwnerBytes = s.cdf(ownerB)
+	res.Fig4a.RestBytes = s.cdf(restB)
+	if restBS.Mean() > 0 {
+		res.Fig4a.DataGainPct = 100 * (ownerBS.Mean()/restBS.Mean() - 1)
+	}
+	if restT.Mean() > 0 {
+		res.Fig4a.TxGainPct = 100 * (ownerT.Mean()/restT.Mean() - 1)
+	}
+}
+
+// deviceShare computes Fig 4(b) over the detail window, like the rest of
+// the Fig 4 comparisons.
+func (s *Study) deviceShare(res *Results) {
+	totals := usermetrics.TotalsFromUDR(s.ds.UDR.Records, simtime.Detail(), s.ds.Devices.IsWearable)
+	var shares []float64
+	for user, t := range totals {
+		if !s.ix.IsWearableUser(user) || t.WearableBytes == 0 || t.Bytes == 0 {
+			continue
+		}
+		shares = append(shares, t.WearableShare())
+	}
+	res.Fig4b.ShareCDF = s.cdf(shares)
+	e := stats.NewECDF(shares)
+	res.Fig4b.MedianShare = e.Quantile(0.5)
+	res.Fig4b.FracOver3Pct = 1 - e.At(0.03)
+	if res.Fig4b.MedianShare > 0 {
+		res.Fig4b.OrdersOfMagnitude = math.Log10(1 / res.Fig4b.MedianShare)
+	}
+}
+
+// mobility computes Fig 4(c) and the single-location takeaway.
+func (s *Study) mobility(res *Results) {
+	isWearDev := func(r mme.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }
+	isRestPhone := func(r mme.Record) bool {
+		if s.ix.IsWearableUser(r.IMSI) {
+			return false
+		}
+		m, ok := s.ds.Devices.Lookup(r.IMEI)
+		return ok && m.Class == devicedb.Smartphone
+	}
+
+	wearMob := s.analyzer.Collect(s.ds.MME.Records, simtime.Detail(), isWearDev)
+	restMob := s.analyzer.Collect(s.ds.MME.Records, simtime.Detail(), isRestPhone)
+
+	// Entropy is only estimated for users observed at least minEntropyDays
+	// days: a user seen a handful of times cannot reveal their location
+	// diversity, and wearables (unlike always-on handsets) register
+	// intermittently.
+	const minEntropyDays = 5
+	collect := func(mobs map[subs.IMSI]*mobmetrics.Mobility) (disp []float64, entropy stats.Summary, moving stats.Summary) {
+		for _, m := range mobs {
+			d := m.MeanDailyMaxKm()
+			disp = append(disp, d)
+			if len(m.DailyMaxKm) >= minEntropyDays {
+				entropy.Add(m.Entropy)
+			}
+			if !m.Stationary() {
+				moving.Add(d)
+			}
+		}
+		return disp, entropy, moving
+	}
+	ownerDisp, ownerEnt, ownerMoving := collect(wearMob)
+	restDisp, restEnt, restMoving := collect(restMob)
+
+	res.Fig4c.OwnerDisplacement = s.cdf(ownerDisp)
+	res.Fig4c.RestDisplacement = s.cdf(restDisp)
+	eo := stats.NewECDF(ownerDisp)
+	er := stats.NewECDF(restDisp)
+	res.Fig4c.OwnerMeanKm = eo.Mean()
+	res.Fig4c.RestMeanKm = er.Mean()
+	res.Fig4c.OwnerP90Km = eo.Quantile(0.9)
+	if restEnt.Mean() > 0 {
+		res.Fig4c.EntropyGainPct = 100 * (ownerEnt.Mean()/restEnt.Mean() - 1)
+	}
+	res.Fig4c.NonStationaryOwnerMeanKm = ownerMoving.Mean()
+	res.Fig4c.NonStationaryRestMeanKm = restMoving.Mean()
+
+	// Single-location transmitters: join wearable transactions to sectors.
+	txSectors := mobmetrics.TxSectors(s.ds.MME.Records, s.wearRecs, isWearDev,
+		func(r proxylog.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) })
+	single, withData := 0, 0
+	for _, sectors := range txSectors {
+		if len(sectors) == 0 {
+			continue
+		}
+		withData++
+		if len(sectors) == 1 {
+			single++
+		}
+	}
+	if withData > 0 {
+		res.Fig4c.SingleLocationFrac = float64(single) / float64(withData)
+	}
+
+	// Fig 4(d): displacement vs transaction intensity.
+	acts := usermetrics.Collect(s.wearRecs, nil)
+	var xs, ys []float64
+	buckets := make(map[int]*stats.Summary)
+	for user, m := range wearMob {
+		a := acts[user]
+		if a == nil {
+			continue
+		}
+		d := m.MeanDailyMaxKm()
+		t := a.TxPerActiveHour()
+		xs = append(xs, d)
+		ys = append(ys, t)
+		b := int(math.Round(d / 5)) // 5 km buckets
+		if buckets[b] == nil {
+			buckets[b] = &stats.Summary{}
+		}
+		buckets[b].Add(t)
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if buckets[k].N() < 3 {
+			continue
+		}
+		res.Fig4d.DisplacementBucketKm = append(res.Fig4d.DisplacementBucketKm, float64(k*5))
+		res.Fig4d.TxPerHour = append(res.Fig4d.TxPerHour, buckets[k].Mean())
+	}
+	res.Fig4d.Spearman = stats.Spearman(xs, ys)
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// linearFit returns the least-squares slope and intercept of counts over
+// day indices.
+func linearFit(days []simtime.Day, counts []float64) (slope, intercept float64) {
+	n := float64(len(days))
+	if n < 2 {
+		return 0, mean(counts)
+	}
+	var sx, sy, sxx, sxy float64
+	for i, d := range days {
+		x := float64(d)
+		sx += x
+		sy += counts[i]
+		sxx += x * x
+		sxy += x * counts[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}

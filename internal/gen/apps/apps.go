@@ -1,0 +1,179 @@
+// Package apps defines the wearable application catalogue: the ~50 apps the
+// paper names in its application analysis (Fig 5), their Google Play
+// categories (Fig 6), their traffic classes, and the Internet domains each
+// app contacts, split across the paper's four transaction categories —
+// Application (first party), Utilities (CDNs), Advertising and Analytics
+// (§5.2). The catalogue drives both the traffic generator and the app
+// identification rules, playing the role of the ground truth the authors
+// obtained from lab experiments and Androlyzer (§3.3).
+package apps
+
+import "fmt"
+
+// Category is a Google Play store app category. The constants cover the 15
+// categories that appear in the paper's Fig 6.
+type Category string
+
+// Play store categories in the paper's Fig 6.
+const (
+	Communication Category = "Communication"
+	Shopping      Category = "Shopping"
+	Social        Category = "Social"
+	Weather       Category = "Weather"
+	MusicAudio    Category = "Music-Audio"
+	Sports        Category = "Sports"
+	NewsMagazines Category = "News-Magazines"
+	Entertainment Category = "Entertainment"
+	Productivity  Category = "Productivity"
+	MapsNav       Category = "Maps-Navigation"
+	Tools         Category = "Tools"
+	TravelLocal   Category = "Travel-Local"
+	Finance       Category = "Finance"
+	HealthFitness Category = "Health-Fitness"
+	Lifestyle     Category = "Lifestyle"
+)
+
+// Categories lists every category in a stable order.
+func Categories() []Category {
+	return []Category{
+		Communication, Shopping, Social, Weather, MusicAudio, Sports,
+		NewsMagazines, Entertainment, Productivity, MapsNav, Tools,
+		TravelLocal, Finance, HealthFitness, Lifestyle,
+	}
+}
+
+// TrafficClass captures how an app uses the network; it supplies default
+// traffic-shape parameters that individual apps can override.
+type TrafficClass int
+
+const (
+	// Notification apps exchange many small messages (messengers, mail,
+	// weather pushes).
+	Notification TrafficClass = iota
+	// Streaming apps move large payloads per usage (music, video).
+	Streaming
+	// Sync apps periodically reconcile state (cloud drives, health sync).
+	Sync
+	// Payment apps perform rare, tiny token exchanges.
+	Payment
+	// Browsing apps fetch mixed medium content (news, shopping, maps).
+	Browsing
+	// Voice apps stream short audio interactions (assistants, calls).
+	Voice
+)
+
+// String names the class.
+func (c TrafficClass) String() string {
+	switch c {
+	case Notification:
+		return "notification"
+	case Streaming:
+		return "streaming"
+	case Sync:
+		return "sync"
+	case Payment:
+		return "payment"
+	case Browsing:
+		return "browsing"
+	case Voice:
+		return "voice"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// DomainKind is the paper's transaction categorisation (§5.2).
+type DomainKind int
+
+const (
+	// KindApplication is a first-party domain: servers of the app
+	// developer or the service the app fronts.
+	KindApplication DomainKind = iota
+	// KindUtilities covers generic infrastructure such as CDNs.
+	KindUtilities
+	// KindAdvertising covers ad-network domains.
+	KindAdvertising
+	// KindAnalytics covers audience/engagement/revenue analytics domains.
+	KindAnalytics
+)
+
+// NumDomainKinds is the number of DomainKind values.
+const NumDomainKinds = 4
+
+// String names the kind as the paper does.
+func (k DomainKind) String() string {
+	switch k {
+	case KindApplication:
+		return "Application"
+	case KindUtilities:
+		return "Utilities"
+	case KindAdvertising:
+		return "Advertising"
+	case KindAnalytics:
+		return "Analytics"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Shape is the traffic profile of an app: how often it is used, how many
+// transactions one usage produces, and how big they are. All values are
+// means of the underlying distributions the generator samples.
+type Shape struct {
+	// UsageWeight is the app's relative share of daily usage events among
+	// installed apps (Fig 5 popularity).
+	UsageWeight float64
+	// TxPerUsage is the mean number of transactions per usage session
+	// (transactions less than one minute apart, §5.1).
+	TxPerUsage float64
+	// TxBytes is the median total bytes of a transaction.
+	TxBytes float64
+	// TxBytesSigma is the lognormal sigma of transaction sizes.
+	TxBytesSigma float64
+	// Mix is the probability of a transaction landing on each DomainKind.
+	Mix [NumDomainKinds]float64
+}
+
+// defaultShape returns the class baseline. Per-app definitions scale it.
+func defaultShape(c TrafficClass) Shape {
+	switch c {
+	case Notification:
+		return Shape{TxPerUsage: 8, TxBytes: 2800, TxBytesSigma: 0.7,
+			Mix: [NumDomainKinds]float64{0.62, 0.13, 0.13, 0.12}}
+	case Streaming:
+		return Shape{TxPerUsage: 14, TxBytes: 45000, TxBytesSigma: 1.1,
+			Mix: [NumDomainKinds]float64{0.45, 0.35, 0.10, 0.10}}
+	case Sync:
+		return Shape{TxPerUsage: 5, TxBytes: 9000, TxBytesSigma: 0.9,
+			Mix: [NumDomainKinds]float64{0.70, 0.16, 0.04, 0.10}}
+	case Payment:
+		return Shape{TxPerUsage: 3, TxBytes: 1600, TxBytesSigma: 0.5,
+			Mix: [NumDomainKinds]float64{0.85, 0.05, 0.00, 0.10}}
+	case Browsing:
+		return Shape{TxPerUsage: 11, TxBytes: 6000, TxBytesSigma: 1.0,
+			Mix: [NumDomainKinds]float64{0.48, 0.22, 0.18, 0.12}}
+	case Voice:
+		return Shape{TxPerUsage: 6, TxBytes: 12000, TxBytesSigma: 0.8,
+			Mix: [NumDomainKinds]float64{0.75, 0.10, 0.05, 0.10}}
+	default:
+		return Shape{TxPerUsage: 6, TxBytes: 3000, TxBytesSigma: 0.8,
+			Mix: [NumDomainKinds]float64{0.70, 0.10, 0.10, 0.10}}
+	}
+}
+
+// App is one catalogue entry.
+type App struct {
+	// Name is the app's display name; anonymised entries keep the paper's
+	// placeholder names (News-App-1, Bank-App-1, ...).
+	Name     string
+	Category Category
+	Class    TrafficClass
+	// Rank is the 0-based popularity rank from Fig 5(a); lower is more
+	// popular.
+	Rank int
+	// Hosts are the app's first-party domains (KindApplication). They are
+	// unique to the app and anchor app identification.
+	Hosts []string
+	// Shape is the resolved traffic profile.
+	Shape Shape
+}

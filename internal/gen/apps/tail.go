@@ -1,0 +1,55 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"wearwild/internal/randx"
+)
+
+// TailApps is the number of synthetic long-tail apps DefaultWithTail adds.
+// The paper's figures show only the top ~50 apps, but its install-count
+// distribution (mean 8, some users above 100 installed apps, §4.3) implies
+// a much longer catalogue; the tail supplies it without disturbing the
+// head's popularity shape.
+const TailApps = 130
+
+// tailWeightStart is the usage weight of the first tail app relative to
+// rank 0; it continues the head's exponential decay floor.
+const tailWeightStart = 1e-4
+
+// DefaultWithTail builds the standard catalogue plus TailApps generic
+// low-popularity apps spread across all categories.
+func DefaultWithTail() *Catalog {
+	c := Default()
+	cats := Categories()
+	classes := []TrafficClass{Notification, Sync, Browsing}
+
+	weights := make([]float64, 0, len(c.apps)+TailApps)
+	for _, a := range c.apps {
+		weights = append(weights, a.Shape.UsageWeight)
+	}
+	for i := 0; i < TailApps; i++ {
+		rank := len(c.apps)
+		name := fmt.Sprintf("Tail-App-%03d", i+1)
+		class := classes[i%len(classes)]
+		shape := defaultShape(class)
+		// Gentle decay through the tail: two more orders of magnitude.
+		shape.UsageWeight = tailWeightStart * math.Pow(0.965, float64(i))
+		host := fmt.Sprintf("api.tail-app-%03d.app", i+1)
+		app := &App{
+			Name:     name,
+			Category: cats[i%len(cats)],
+			Class:    class,
+			Rank:     rank,
+			Hosts:    []string{host},
+			Shape:    shape,
+		}
+		c.apps = append(c.apps, app)
+		c.byName[name] = app
+		c.byHost[host] = app
+		weights = append(weights, shape.UsageWeight)
+	}
+	c.usage = randx.MustCategorical(weights)
+	return c
+}

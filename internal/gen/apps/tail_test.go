@@ -1,0 +1,42 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultWithTail(t *testing.T) {
+	c := DefaultWithTail()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 50+TailApps {
+		t.Fatalf("len = %d, want %d", c.Len(), 50+TailApps)
+	}
+	// Head order untouched.
+	if c.Apps()[0].Name != "Weather" || c.Apps()[49].Name != "TV-Guide" {
+		t.Fatal("head apps disturbed")
+	}
+	// Tail apps all rank below the head's weight floor.
+	head := c.Apps()[:50]
+	tail := c.Apps()[50:]
+	minHead := head[len(head)-1].Shape.UsageWeight
+	for _, a := range tail {
+		if a.Shape.UsageWeight > minHead {
+			t.Fatalf("tail app %q outweighs head floor", a.Name)
+		}
+		if !strings.HasPrefix(a.Name, "Tail-App-") {
+			t.Fatalf("unexpected tail name %q", a.Name)
+		}
+		got, ok := c.AppOfHost(a.Hosts[0])
+		if !ok || got != a {
+			t.Fatalf("tail host %q unresolvable", a.Hosts[0])
+		}
+	}
+	// Weights stay strictly positive and decreasing through the tail.
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Shape.UsageWeight >= tail[i-1].Shape.UsageWeight {
+			t.Fatal("tail weights not decreasing")
+		}
+	}
+}

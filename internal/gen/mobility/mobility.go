@@ -1,0 +1,288 @@
+// Package mobility generates daily movement itineraries over the sector
+// map: a home-work commuting loop on weekdays (the 4–9am / 4–8pm bumps of
+// Fig 3(a)), plus engagement-scaled leisure trips and an occasional
+// long-range excursion that gives the max-displacement distribution its
+// tail (Fig 4(c)). Itineraries convert directly into MME records.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"wearwild/internal/geo"
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/randx"
+	"wearwild/internal/simtime"
+
+	"wearwild/internal/gen/population"
+)
+
+// Config holds the movement parameters.
+type Config struct {
+	// LeisureTripMeanWeekday/Weekend are the mean numbers of discretionary
+	// trips per day, before engagement scaling.
+	LeisureTripMeanWeekday float64
+	LeisureTripMeanWeekend float64
+	// TripKmMedian/TripKmSigma shape the lognormal leisure-trip radius,
+	// before the user's mobility scale.
+	TripKmMedian float64
+	TripKmSigma  float64
+	// LongTripProb is the per-day probability of a long-range excursion
+	// of at least LongTripKmMin km (Pareto shape LongTripAlpha).
+	LongTripProb  float64
+	LongTripKmMin float64
+	LongTripAlpha float64
+	// MaxCommuteStops bounds the intermediate sector updates recorded
+	// along a commute leg.
+	MaxCommuteStops int
+}
+
+// DefaultConfig returns movement parameters calibrated with the population
+// defaults to the paper's mobility findings.
+func DefaultConfig() Config {
+	return Config{
+		LeisureTripMeanWeekday: 0.5,
+		LeisureTripMeanWeekend: 1.2,
+		TripKmMedian:           3.5,
+		TripKmSigma:            0.8,
+		LongTripProb:           0.015,
+		LongTripKmMin:          50,
+		LongTripAlpha:          2.2,
+		MaxCommuteStops:        3,
+	}
+}
+
+// Validate rejects out-of-range parameters.
+func (c Config) Validate() error {
+	if c.TripKmMedian <= 0 || c.TripKmSigma <= 0 {
+		return fmt.Errorf("mobility: trip distribution parameters must be positive")
+	}
+	if c.LongTripProb < 0 || c.LongTripProb > 1 {
+		return fmt.Errorf("mobility: LongTripProb outside [0,1]")
+	}
+	if c.LongTripKmMin <= 0 || c.LongTripAlpha <= 0 {
+		return fmt.Errorf("mobility: long-trip parameters must be positive")
+	}
+	if c.LeisureTripMeanWeekday < 0 || c.LeisureTripMeanWeekend < 0 {
+		return fmt.Errorf("mobility: negative leisure trip mean")
+	}
+	if c.MaxCommuteStops < 0 {
+		return fmt.Errorf("mobility: negative MaxCommuteStops")
+	}
+	return nil
+}
+
+// Visit is one stop in a day's itinerary.
+type Visit struct {
+	Time   time.Time
+	Sector cells.SectorID
+	Pos    geo.Point
+}
+
+// Generator produces itineraries over one topology.
+type Generator struct {
+	topo *cells.Topology
+	cfg  Config
+}
+
+// New returns a generator.
+func New(topo *cells.Topology, cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topo == nil || topo.Len() == 0 {
+		return nil, fmt.Errorf("mobility: empty topology")
+	}
+	return &Generator{topo: topo, cfg: cfg}, nil
+}
+
+// DayVisits returns the chronological, per-sector-deduplicated visits of a
+// user on a day. The itinerary is derived only from (user, day, stream),
+// so every device the user carries sees the same movement.
+func (g *Generator) DayVisits(u *population.User, d simtime.Day, r *randx.Rand) []Visit {
+	day := d.Time()
+	visit := func(minutes float64, pos geo.Point) Visit {
+		return Visit{
+			Time:   day.Add(time.Duration(minutes * float64(time.Minute))),
+			Sector: g.topo.Nearest(pos),
+			Pos:    pos,
+		}
+	}
+
+	visits := []Visit{visit(5, u.Home)} // midnight-ish at home
+
+	if !d.IsWeekend() && u.Employed {
+		// Morning commute, departures peaking 7–9 (Fig 3(a) bump).
+		leave := (6.5 + 2*r.Float64()) * 60
+		visits = append(visits, g.commuteLeg(u.Home, u.Work, leave, day, r)...)
+		// Optional midday errand near work.
+		if r.Bool(poissonAsProb(g.cfg.LeisureTripMeanWeekday * engagementScale(u))) {
+			visits = append(visits, g.trip(u, u.Work, (12+2*r.Float64())*60, day, r)...)
+		}
+		// Evening commute, 4–8pm window.
+		back := (16.5 + 2.5*r.Float64()) * 60
+		visits = append(visits, g.commuteLeg(u.Work, u.Home, back, day, r)...)
+	} else if !d.IsWeekend() {
+		// Non-commuters: occasional daytime leisure trips from home.
+		trips := r.Poisson(g.cfg.LeisureTripMeanWeekday * 1.5 * engagementScale(u))
+		start := 9 * 60.0
+		for i := 0; i < trips && start < 20*60; i++ {
+			visits = append(visits, g.trip(u, u.Home, start, day, r)...)
+			start += (2 + 3*r.Float64()) * 60
+		}
+	} else {
+		trips := r.Poisson(g.cfg.LeisureTripMeanWeekend * engagementScale(u))
+		start := 10 * 60.0
+		for i := 0; i < trips && start < 20*60; i++ {
+			visits = append(visits, g.trip(u, u.Home, start, day, r)...)
+			start += (2 + 3*r.Float64()) * 60
+		}
+	}
+
+	// Occasional long-range excursion regardless of weekday. Its distance
+	// is set by geography (visiting another city), not the user's local
+	// movement scale.
+	if r.Bool(g.cfg.LongTripProb * math.Min(engagementScale(u), 2)) {
+		dist := r.Pareto(g.cfg.LongTripKmMin, g.cfg.LongTripAlpha)
+		visits = append(visits, g.excursion(u.Home, dist, (10+4*r.Float64())*60, day, r)...)
+	}
+
+	// Late-evening legs must not bleed into the next day: a visit carries
+	// its day's identity through every downstream per-day analysis.
+	lastInstant := day.Add(24*time.Hour - time.Second)
+	for i := range visits {
+		if visits[i].Time.After(lastInstant) {
+			visits[i].Time = lastInstant
+		}
+	}
+
+	return canonicalize(visits)
+}
+
+// engagementScale couples trip counts to the user's latent engagement,
+// producing the displacement-activity correlation of Fig 4(d).
+func engagementScale(u *population.User) float64 {
+	s := math.Sqrt(u.Engagement * math.Max(u.MobilityScale, 1e-6))
+	if s < 0.2 {
+		s = 0.2
+	}
+	if s > 4 {
+		s = 4
+	}
+	return s
+}
+
+// poissonAsProb converts a small mean count to a Bernoulli probability.
+func poissonAsProb(mean float64) float64 { return 1 - math.Exp(-mean) }
+
+// commuteLeg emits the intermediate and final sectors of one commute leg
+// departing at the given minute of day.
+func (g *Generator) commuteLeg(from, to geo.Point, departMin float64, day time.Time, r *randx.Rand) []Visit {
+	dist := geo.DistanceKm(from, to)
+	stops := int(dist / 8)
+	if stops > g.cfg.MaxCommuteStops {
+		stops = g.cfg.MaxCommuteStops
+	}
+	legMinutes := 10 + dist // ~1 min/km plus overhead
+	var out []Visit
+	for i := 1; i <= stops; i++ {
+		f := float64(i) / float64(stops+1)
+		p := interpolate(from, to, f)
+		p = geo.Offset(p, r.NormFloat64()*1.5, r.NormFloat64()*1.5) // off the straight line
+		out = append(out, Visit{
+			Time:   day.Add(time.Duration((departMin + f*legMinutes) * float64(time.Minute))),
+			Sector: g.topo.Nearest(p),
+			Pos:    p,
+		})
+	}
+	out = append(out, Visit{
+		Time:   day.Add(time.Duration((departMin + legMinutes) * float64(time.Minute))),
+		Sector: g.topo.Nearest(to),
+		Pos:    to,
+	})
+	return out
+}
+
+// interpolate walks fraction f of the way between two points.
+func interpolate(a, b geo.Point, f float64) geo.Point {
+	return geo.Point{
+		Lat: a.Lat + (b.Lat-a.Lat)*f,
+		Lon: a.Lon + (b.Lon-a.Lon)*f,
+	}
+}
+
+// trip goes somewhere near the anchor and comes back.
+func (g *Generator) trip(u *population.User, anchor geo.Point, startMin float64, day time.Time, r *randx.Rand) []Visit {
+	dist := r.LogNormalMedian(g.cfg.TripKmMedian, g.cfg.TripKmSigma) * math.Max(u.MobilityScale, 0.3)
+	return g.excursion(anchor, dist, startMin, day, r)
+}
+
+// excursion visits a point dist km away and returns to the anchor.
+func (g *Generator) excursion(anchor geo.Point, dist, startMin float64, day time.Time, r *randx.Rand) []Visit {
+	angle := r.Float64() * 2 * math.Pi
+	dest := geo.Offset(anchor, dist*math.Cos(angle), dist*math.Sin(angle))
+	stay := 30 + 90*r.Float64() // minutes
+	travel := 10 + dist
+	return []Visit{
+		{Time: day.Add(time.Duration((startMin + travel) * float64(time.Minute))), Sector: g.topo.Nearest(dest), Pos: dest},
+		{Time: day.Add(time.Duration((startMin + travel + stay) * float64(time.Minute))), Sector: g.topo.Nearest(anchor), Pos: anchor},
+	}
+}
+
+// canonicalize sorts visits chronologically and drops consecutive repeats
+// of the same sector.
+func canonicalize(v []Visit) []Visit {
+	if len(v) == 0 {
+		return v
+	}
+	sort.SliceStable(v, func(i, j int) bool { return v[i].Time.Before(v[j].Time) })
+	out := v[:1]
+	for _, next := range v[1:] {
+		if next.Sector != out[len(out)-1].Sector {
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// Records converts a day's visits into MME records for one device: the
+// first visit is an Attach, the rest are Updates.
+func Records(u *population.User, dev imei.IMEI, visits []Visit) []mme.Record {
+	if len(visits) == 0 {
+		return nil
+	}
+	out := make([]mme.Record, 0, len(visits))
+	for i, v := range visits {
+		ev := mme.Update
+		if i == 0 {
+			ev = mme.Attach
+		}
+		out = append(out, mme.Record{
+			Time:   v.Time,
+			IMSI:   u.IMSI,
+			IMEI:   dev,
+			Sector: v.Sector,
+			Event:  ev,
+		})
+	}
+	return out
+}
+
+// MaxDisplacementKm returns the greatest pairwise distance between the
+// sectors of a day's visits — the paper's max-displacement metric, computed
+// on positions the same way the analysis later computes it on sectors.
+func (g *Generator) MaxDisplacementKm(visits []Visit) float64 {
+	var max float64
+	for i := 0; i < len(visits); i++ {
+		for j := i + 1; j < len(visits); j++ {
+			if d := g.topo.DistanceKm(visits[i].Sector, visits[j].Sector); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

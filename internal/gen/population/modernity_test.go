@@ -1,0 +1,70 @@
+package population
+
+import (
+	"testing"
+
+	"wearwild/internal/geo"
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/randx"
+
+	"wearwild/internal/gen/apps"
+)
+
+// TestPhoneModernity: wearable demographics (SIM owners and Through-Device
+// users) must carry newer handsets than the remaining population, the
+// conclusion's observation.
+func TestPhoneModernity(t *testing.T) {
+	pop := buildTestPop(t, smallConfig())
+	meanYear := func(users []*User, keep func(*User) bool) float64 {
+		var sum float64
+		n := 0
+		for _, u := range users {
+			if keep != nil && !keep(u) {
+				continue
+			}
+			sum += float64(u.PhoneModel.Year)
+			n++
+		}
+		return sum / float64(n)
+	}
+	owners := meanYear(pop.WearableOwners(), nil)
+	td := meanYear(pop.OrdinaryUsers(), func(u *User) bool { return u.ThroughDevice })
+	plain := meanYear(pop.OrdinaryUsers(), func(u *User) bool { return !u.ThroughDevice })
+
+	if owners-plain < 0.2 {
+		t.Fatalf("owner phones (%.2f) not newer than plain (%.2f)", owners, plain)
+	}
+	if td-plain < 0.2 {
+		t.Fatalf("TD phones (%.2f) not newer than plain (%.2f)", td, plain)
+	}
+}
+
+// TestAppleWatchWhatIf: with the extended catalogue, Apple wearables
+// dominate allocation.
+func TestAppleWatchWhatIf(t *testing.T) {
+	country := geo.DefaultCountry()
+	topo, err := cells.Build(country, cells.Config{UrbanSectors: 200, RuralSectors: 100}, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WearableUsers = 600
+	cfg.OrdinaryUsers = 600
+	pop, err := Build(cfg, country, topo, devicedb.DefaultWithAppleWatch(), apps.DefaultWithTail(), randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apple := 0
+	for _, u := range pop.WearableOwners() {
+		if u.WearableModel.Vendor == "Apple" {
+			apple++
+		}
+	}
+	frac := float64(apple) / float64(cfg.WearableUsers)
+	// Weight 8 against Samsung 5+5+5 and LG 3+3 etc: Apple should take
+	// the single largest share but not everything.
+	if frac < 0.20 || frac > 0.55 {
+		t.Fatalf("apple share = %.2f", frac)
+	}
+}

@@ -1,0 +1,315 @@
+// Package sim orchestrates the synthetic ISP: it wires the population,
+// mobility and traffic models over the radio topology and device database
+// and produces the three vantage-point logs of the paper's measurement
+// infrastructure (§3.1):
+//
+//   - an MME log: wearable registrations over the full five-month window,
+//     with full sector updates (wearables and a sample of ordinary
+//     handsets) during the final seven detailed weeks;
+//   - a transparent-proxy log of HTTP/HTTPS transactions, retained for the
+//     detailed window only, exactly as the paper's collection was;
+//   - weekly per-device usage aggregates (UDRs) across the full window,
+//     carrying the total volumes behind the user-level comparisons.
+//
+// Generation is deterministic in (Config, Seed).
+package sim
+
+import (
+	"fmt"
+
+	"wearwild/internal/geo"
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/udr"
+	"wearwild/internal/randx"
+	"wearwild/internal/simtime"
+
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/gen/mobility"
+	"wearwild/internal/gen/population"
+	"wearwild/internal/gen/traffic"
+)
+
+// Config bundles all generation parameters.
+type Config struct {
+	Seed uint64
+
+	Population population.Config
+	Cells      cells.Config
+	Mobility   mobility.Config
+	Traffic    traffic.Config
+
+	// OrdinaryMobilitySample is how many ordinary users receive full MME
+	// sector logging in the detail window (the mobility comparison
+	// sample). The paper compares against all customers; we compare
+	// against a sample, which normalised plots absorb.
+	OrdinaryMobilitySample int
+
+	// WithTailApps selects the long-tail catalogue (needed for the
+	// install-count distribution of §4.3).
+	WithTailApps bool
+
+	// IncludeAppleWatch enables the what-if scenario the paper's
+	// conclusion anticipates: the operator supports the SIM-enabled Apple
+	// Watch Series 3, which immediately dominates wearable sales. Pair it
+	// with a raised Population.MonthlyGrowth for the "sharper increase".
+	IncludeAppleWatch bool
+
+	// Workers bounds generation parallelism (0 = one worker per CPU).
+	// Output is identical for any worker count: every user's stream is
+	// derived independently and results merge in user order.
+	Workers int
+}
+
+// DefaultConfig returns a dataset configuration that reproduces the paper
+// at a laptop-friendly scale.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                   seed,
+		Population:             population.DefaultConfig(),
+		Cells:                  cells.DefaultConfig(),
+		Mobility:               mobility.DefaultConfig(),
+		Traffic:                traffic.DefaultConfig(),
+		OrdinaryMobilitySample: 3000,
+		WithTailApps:           true,
+	}
+}
+
+// SmallConfig returns a fast configuration for tests and examples.
+func SmallConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Population.WearableUsers = 800
+	cfg.Population.OrdinaryUsers = 2400
+	cfg.Cells = cells.Config{UrbanSectors: 500, RuralSectors: 200}
+	cfg.OrdinaryMobilitySample = 800
+	return cfg
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if err := c.Population.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mobility.Validate(); err != nil {
+		return err
+	}
+	if err := c.Traffic.Validate(); err != nil {
+		return err
+	}
+	if c.OrdinaryMobilitySample < 0 {
+		return fmt.Errorf("sim: negative OrdinaryMobilitySample")
+	}
+	return nil
+}
+
+// Dataset is a fully generated synthetic ISP dataset.
+type Dataset struct {
+	Config Config
+
+	Country  geo.Country
+	Topology *cells.Topology
+	Devices  *devicedb.DB
+	Catalog  *apps.Catalog
+	// Population is the generation ground truth. The study pipeline never
+	// reads it — it works from the logs — but validation tests compare
+	// study output against it.
+	Population *population.Population
+
+	MME   mme.Log
+	Proxy proxylog.Log
+	UDR   udr.Log
+}
+
+// generateSubstrate builds the deterministic part of a dataset: topology,
+// device DB, catalogue and population, but no logs.
+func generateSubstrate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := randx.New(cfg.Seed)
+	country := geo.DefaultCountry()
+
+	topo, err := cells.Build(country, cfg.Cells, root.Split("cells", 0))
+	if err != nil {
+		return nil, err
+	}
+	db := devicedb.Default()
+	if cfg.IncludeAppleWatch {
+		db = devicedb.DefaultWithAppleWatch()
+	}
+	var catalog *apps.Catalog
+	if cfg.WithTailApps {
+		catalog = apps.DefaultWithTail()
+	} else {
+		catalog = apps.Default()
+	}
+	pop, err := population.Build(cfg.Population, country, topo, db, catalog, root.Split("pop", 0))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Config:     cfg,
+		Country:    country,
+		Topology:   topo,
+		Devices:    db,
+		Catalog:    catalog,
+		Population: pop,
+	}, nil
+}
+
+// Generate builds the dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	ds, err := generateSubstrate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mob, err := mobility.New(ds.Topology, cfg.Mobility)
+	if err != nil {
+		return nil, err
+	}
+	tgen, err := traffic.New(ds.Catalog, cfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+
+	root := randx.New(cfg.Seed)
+	ds.generateWearables(ds.Population, mob, tgen, root)
+	ds.generateOrdinary(ds.Population, mob, tgen, root)
+
+	ds.MME.SortByTime()
+	ds.Proxy.SortByTime()
+	ds.UDR.Sort()
+	return ds, nil
+}
+
+// userOutput collects one user's generated records; the parallel sweep
+// fills one slot per user and the merge appends them in user order, so the
+// dataset is identical for any worker count.
+type userOutput struct {
+	mme   []mme.Record
+	proxy []proxylog.Record
+	udr   []udr.Record
+}
+
+// generateWearables produces MME, proxy and UDR output for wearable
+// owners.
+func (ds *Dataset) generateWearables(pop *population.Population, mob *mobility.Generator,
+	tgen *traffic.Generator, root *randx.Rand) {
+	owners := pop.WearableOwners()
+	results := make([]userOutput, len(owners))
+	parallelFor(len(owners), ds.Config.Workers, func(i int) {
+		results[i] = ds.wearableUser(owners[i], uint64(i), mob, tgen, root)
+	})
+	ds.merge(results)
+}
+
+// wearableUser generates one owner's five-month output.
+func (ds *Dataset) wearableUser(u *population.User, uid uint64, mob *mobility.Generator,
+	tgen *traffic.Generator, root *randx.Rand) userOutput {
+	var out userOutput
+	weekBytes := map[simtime.Week]*udr.Record{}
+
+	for d := simtime.Day(0); d < simtime.StudyDays; d++ {
+		if !u.WearableActiveOn(d) {
+			continue
+		}
+		rDay := root.Split("wday", uid*100000+uint64(d))
+		if !rDay.Bool(u.RegProb) {
+			continue // wearable stayed off the cellular network today
+		}
+		visits := mob.DayVisits(u, d, rDay.Split("mob", 0))
+		if len(visits) == 0 {
+			continue
+		}
+
+		// MME: full itinerary in the detail window, a single daily
+		// attach outside it (summary collection, §3.1).
+		if d.InDetailWindow() {
+			out.mme = append(out.mme, mobility.Records(u, u.WearableIMEI, visits)...)
+		} else {
+			out.mme = append(out.mme, mobility.Records(u, u.WearableIMEI, visits[:1])[0])
+		}
+
+		recs := tgen.WearableDay(u, d, visits, rDay.Split("tx", 0))
+		if len(recs) == 0 {
+			continue
+		}
+		w := d.Week()
+		agg := weekBytes[w]
+		if agg == nil {
+			agg = &udr.Record{Week: w, IMSI: u.IMSI, IMEI: u.WearableIMEI}
+			weekBytes[w] = agg
+		}
+		for _, rec := range recs {
+			agg.Bytes += rec.Bytes()
+			agg.Transactions++
+		}
+		if d.InDetailWindow() {
+			out.proxy = append(out.proxy, recs...)
+		}
+	}
+	for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
+		if agg := weekBytes[w]; agg != nil {
+			out.udr = append(out.udr, *agg)
+		}
+	}
+	return out
+}
+
+// generateOrdinary produces UDRs for every handset, detail-window MME logs
+// for the mobility sample, and the sparse phone proxy trickle that carries
+// Through-Device companion traffic.
+func (ds *Dataset) generateOrdinary(pop *population.Population, mob *mobility.Generator,
+	tgen *traffic.Generator, root *randx.Rand) {
+	// Phone UDRs for all subscribers, owners included: Fig 4(a/b) compares
+	// whole-user volumes.
+	phoneUDR := make([]userOutput, len(pop.Users))
+	parallelFor(len(pop.Users), ds.Config.Workers, func(i int) {
+		u := pop.Users[i]
+		uid := uint64(i)
+		var out userOutput
+		for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
+			rec := tgen.PhoneWeek(u, w, root.Split("pweek", uid*1000+uint64(w)))
+			if rec.Bytes > 0 {
+				out.udr = append(out.udr, rec)
+			}
+		}
+		phoneUDR[i] = out
+	})
+	ds.merge(phoneUDR)
+
+	detail := simtime.Detail()
+	ordinary := pop.OrdinaryUsers()
+	sample := ds.Config.OrdinaryMobilitySample
+	if sample > len(ordinary) {
+		sample = len(ordinary)
+	}
+	results := make([]userOutput, len(ordinary))
+	parallelFor(len(ordinary), ds.Config.Workers, func(i int) {
+		u := ordinary[i]
+		uid := uint64(len(pop.WearableOwners()) + i)
+		var out userOutput
+		for d := detail.Start; d < detail.End; d++ {
+			rDay := root.Split("oday", uid*100000+uint64(d))
+			// Mobility sample: full phone itineraries.
+			if i < sample {
+				visits := mob.DayVisits(u, d, rDay.Split("mob", 0))
+				out.mme = append(out.mme, mobility.Records(u, u.PhoneIMEI, visits)...)
+			}
+			out.proxy = append(out.proxy, tgen.PhoneProxyDay(u, d, rDay.Split("px", 0))...)
+		}
+		results[i] = out
+	})
+	ds.merge(results)
+}
+
+// merge appends per-user outputs in user order.
+func (ds *Dataset) merge(results []userOutput) {
+	for i := range results {
+		ds.MME.Records = append(ds.MME.Records, results[i].mme...)
+		ds.Proxy.Records = append(ds.Proxy.Records, results[i].proxy...)
+		ds.UDR.Records = append(ds.UDR.Records, results[i].udr...)
+	}
+}

@@ -1,0 +1,470 @@
+// Package traffic turns user state into network transactions: the wearable
+// proxy-log records the application analysis consumes (Figs 3, 5–8), the
+// weekly per-device usage aggregates behind the user-level comparisons
+// (Fig 4(a/b)), and the sparse phone-side records that carry Through-Device
+// companion traffic for the conclusion's fingerprinting experiment.
+//
+// Calibration targets planted here:
+//
+//   - active users average ≈1–2 active days/week and ≈3 active hours/day,
+//     with 80% under 5 h and a 7% tail above 10 h (Fig 3(b));
+//   - transaction sizes centre sharply on ≈3 KB with 80% under 10 KB
+//     (Fig 3(c)); activity couples to per-hour transaction rate (Fig 3(d));
+//   - 93% of active users run a single app per day (§4.3);
+//   - wearable traffic is ~3 orders of magnitude below the owner's total
+//     (Fig 4(b)) while owners out-consume the remaining customers by ≈26%
+//     data and ≈48% transactions (Fig 4(a));
+//   - third-party (utilities/advertising/analytics) volume is within the
+//     same order of magnitude as first-party volume (Fig 8).
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/randx"
+	"wearwild/internal/simtime"
+
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/gen/mobility"
+	"wearwild/internal/gen/population"
+)
+
+// Config holds the traffic parameters.
+type Config struct {
+	// ActiveDayBase/Exp/Min/Max set the per-day probability that a
+	// data-active wearable user produces traffic:
+	// clamp(Base·engagement^Exp, Min, Max).
+	ActiveDayBase float64
+	ActiveDayExp  float64
+	ActiveDayMin  float64
+	ActiveDayMax  float64
+	// WeekendBoost lifts wearable activity slightly on weekends (§4.2).
+	WeekendBoost float64
+
+	// HoursMedianBase is the median active hours on an active day for a
+	// user at engagement 1; HoursSigma the lognormal spread.
+	HoursMedianBase float64
+	HoursSigma      float64
+
+	// SessionsPerHour is the mean usage sessions per active hour at
+	// engagement 1; SessionsEngExp is the engagement exponent that makes
+	// highly active users also chattier per hour (the Fig 3(d)
+	// correlation: activity is sustained, not bursty).
+	SessionsPerHour float64
+	SessionsEngExp  float64
+	// MultiAppDayProb is the probability an active day uses more than one
+	// app (the paper: 93% use exactly one).
+	MultiAppDayProb float64
+
+	// HTTPSShare is the fraction of transactions the proxy sees as TLS.
+	HTTPSShare float64
+	// UpShareMean is the mean uplink fraction of a transaction's bytes.
+	UpShareMean float64
+
+	// Byte scaling per domain kind relative to the app's base size.
+	UtilityBytesFactor   float64
+	AdBytesFactor        float64
+	AnalyticsBytesFactor float64
+
+	// Phone-side model.
+	PhoneBytesMedianPerDay float64 // bytes/day at engagement 1
+	PhoneBytesSigma        float64
+	PhoneTxMedianBytes     float64
+	PhoneDataExp           float64 // engagement exponent on data volume
+	PhoneTxExp             float64 // engagement exponent on transactions
+	PhoneGenericPerDay     float64 // sampled generic phone proxy records/day
+	TDCompanionPerDay      float64 // companion sync sessions/day for TD users
+	// PhoneSizeSpread is the extra lognormal sigma on handset transaction
+	// sizes: smartphone traffic mixes far more app types, so its size
+	// distribution is less sharply centred than the wearables' (§4.3).
+	PhoneSizeSpread float64
+}
+
+// DefaultConfig returns traffic parameters calibrated to the paper.
+func DefaultConfig() Config {
+	return Config{
+		ActiveDayBase: 0.16,
+		ActiveDayExp:  0.8,
+		ActiveDayMin:  0.02,
+		ActiveDayMax:  0.85,
+		WeekendBoost:  1.15,
+
+		HoursMedianBase: 1.9,
+		HoursSigma:      0.85,
+
+		SessionsPerHour: 0.95,
+		SessionsEngExp:  0.55,
+		MultiAppDayProb: 0.07,
+
+		HTTPSShare:  0.86,
+		UpShareMean: 0.20,
+
+		UtilityBytesFactor:   1.2,
+		AdBytesFactor:        0.5,
+		AnalyticsBytesFactor: 0.4,
+
+		PhoneBytesMedianPerDay: 12e6,
+		PhoneBytesSigma:        0.45,
+		PhoneTxMedianBytes:     3000,
+		PhoneDataExp:           1.0,
+		PhoneTxExp:             1.55,
+		PhoneGenericPerDay:     0.6,
+		TDCompanionPerDay:      1.3,
+		PhoneSizeSpread:        0.9,
+	}
+}
+
+// Validate rejects out-of-range parameters.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"ActiveDayBase", c.ActiveDayBase}, {"ActiveDayMin", c.ActiveDayMin},
+		{"ActiveDayMax", c.ActiveDayMax}, {"MultiAppDayProb", c.MultiAppDayProb},
+		{"HTTPSShare", c.HTTPSShare}, {"UpShareMean", c.UpShareMean},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("traffic: %s = %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.ActiveDayMin > c.ActiveDayMax {
+		return fmt.Errorf("traffic: ActiveDayMin > ActiveDayMax")
+	}
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"ActiveDayExp", c.ActiveDayExp}, {"WeekendBoost", c.WeekendBoost},
+		{"HoursMedianBase", c.HoursMedianBase}, {"HoursSigma", c.HoursSigma},
+		{"SessionsPerHour", c.SessionsPerHour}, {"SessionsEngExp", c.SessionsEngExp},
+		{"UtilityBytesFactor", c.UtilityBytesFactor}, {"AdBytesFactor", c.AdBytesFactor},
+		{"AnalyticsBytesFactor", c.AnalyticsBytesFactor},
+		{"PhoneBytesMedianPerDay", c.PhoneBytesMedianPerDay}, {"PhoneBytesSigma", c.PhoneBytesSigma},
+		{"PhoneTxMedianBytes", c.PhoneTxMedianBytes}, {"PhoneDataExp", c.PhoneDataExp},
+		{"PhoneTxExp", c.PhoneTxExp},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("traffic: %s must be positive, got %g", p.name, p.v)
+		}
+	}
+	if c.PhoneGenericPerDay < 0 || c.TDCompanionPerDay < 0 {
+		return fmt.Errorf("traffic: negative phone rates")
+	}
+	if c.PhoneSizeSpread < 0 {
+		return fmt.Errorf("traffic: negative PhoneSizeSpread")
+	}
+	return nil
+}
+
+// Diurnal activity profiles: relative weights per hour of day. The weekday
+// curve carries the commuting bumps at 4–9am and 4–8pm that Fig 3(a)
+// reports as the only weekday/weekend difference.
+var (
+	weekdayProfile = [24]float64{
+		0.20, 0.15, 0.10, 0.10, 0.30, 0.50, 0.80, 1.20,
+		1.30, 1.00, 0.90, 0.90, 1.00, 0.90, 0.85, 0.90,
+		1.10, 1.30, 1.35, 1.20, 1.00, 0.90, 0.60, 0.35,
+	}
+	weekendProfile = [24]float64{
+		0.25, 0.20, 0.15, 0.10, 0.15, 0.20, 0.30, 0.50,
+		0.70, 0.90, 1.00, 1.05, 1.05, 1.00, 0.95, 0.95,
+		1.00, 1.05, 1.10, 1.15, 1.10, 1.00, 0.70, 0.40,
+	}
+)
+
+// Profile returns the diurnal weight for an hour of day.
+func Profile(weekend bool, hourOfDay int) float64 {
+	if weekend {
+		return weekendProfile[hourOfDay]
+	}
+	return weekdayProfile[hourOfDay]
+}
+
+// Generator produces traffic over one app catalogue.
+type Generator struct {
+	catalog *apps.Catalog
+	cfg     Config
+}
+
+// New returns a generator.
+func New(catalog *apps.Catalog, cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if catalog == nil || catalog.Len() == 0 {
+		return nil, fmt.Errorf("traffic: empty catalogue")
+	}
+	return &Generator{catalog: catalog, cfg: cfg}, nil
+}
+
+// Catalog returns the generator's catalogue.
+func (g *Generator) Catalog() *apps.Catalog { return g.catalog }
+
+// activeDayProb is the probability a data-active user produces wearable
+// traffic on the given day.
+func (g *Generator) activeDayProb(u *population.User, weekend bool) float64 {
+	p := g.cfg.ActiveDayBase * math.Pow(u.Engagement, g.cfg.ActiveDayExp)
+	if weekend {
+		p *= g.cfg.WeekendBoost
+	}
+	return clamp(p, g.cfg.ActiveDayMin, g.cfg.ActiveDayMax)
+}
+
+// WearableDay generates the wearable's proxy transactions for one day.
+// visits (the user's movement that day) gates single-location users: their
+// transactions happen only while at the home sector. A nil result means an
+// inactive day.
+func (g *Generator) WearableDay(u *population.User, d simtime.Day, visits []mobility.Visit, r *randx.Rand) []proxylog.Record {
+	if !u.DataActive() || !u.WearableActiveOn(d) {
+		return nil
+	}
+	weekend := d.IsWeekend()
+	if !r.Bool(g.activeDayProb(u, weekend)) {
+		return nil
+	}
+
+	// Active hours: lognormal around an engagement-scaled median.
+	median := g.cfg.HoursMedianBase * math.Sqrt(u.Engagement)
+	h := int(math.Round(r.LogNormalMedian(median, g.cfg.HoursSigma)))
+	if h < 1 {
+		h = 1
+	}
+	if h > 18 {
+		h = 18
+	}
+
+	hours := g.pickHours(u, d, visits, h, weekend, r)
+	if len(hours) == 0 {
+		return nil
+	}
+
+	appsToday := g.pickApps(u, r)
+	var out []proxylog.Record
+	for _, hour := range hours {
+		sessions := r.Poisson(g.cfg.SessionsPerHour * math.Pow(u.Engagement, g.cfg.SessionsEngExp))
+		if sessions < 1 {
+			sessions = 1
+		}
+		for s := 0; s < sessions; s++ {
+			app := appsToday[r.IntN(len(appsToday))]
+			start := d.Time().
+				Add(time.Duration(hour) * time.Hour).
+				Add(time.Duration(r.IntN(3300)) * time.Second)
+			out = append(out, g.session(u, app, start, dayEnd(d), r)...)
+		}
+	}
+	return out
+}
+
+// pickHours selects distinct active hours of day, weighted by the diurnal
+// profile, restricted to at-home hours for single-location users.
+func (g *Generator) pickHours(u *population.User, d simtime.Day, visits []mobility.Visit, n int, weekend bool, r *randx.Rand) []int {
+	allowed := make([]int, 0, 24)
+	if u.SingleLocOnly {
+		for hour := 0; hour < 24; hour++ {
+			if atHomeThrough(visits, d, hour, u) {
+				allowed = append(allowed, hour)
+			}
+		}
+		// A degenerate itinerary (never home) falls back to all hours.
+		if len(allowed) == 0 {
+			for hour := 0; hour < 24; hour++ {
+				allowed = append(allowed, hour)
+			}
+		}
+	} else {
+		for hour := 0; hour < 24; hour++ {
+			allowed = append(allowed, hour)
+		}
+	}
+	if n > len(allowed) {
+		n = len(allowed)
+	}
+	weights := make([]float64, len(allowed))
+	for i, hour := range allowed {
+		weights[i] = Profile(weekend, hour)
+	}
+	cat, err := randx.NewCategorical(weights)
+	if err != nil {
+		return nil
+	}
+	idx := cat.SampleK(r, n)
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = allowed[j]
+	}
+	return out
+}
+
+// sectorAt returns the sector the user occupies at the start of the given
+// hour according to the day's visits (0 when unknown).
+func sectorAt(visits []mobility.Visit, d simtime.Day, hourOfDay int) cells.SectorID {
+	at := d.Time().Add(time.Duration(hourOfDay) * time.Hour)
+	var cur cells.SectorID
+	for _, v := range visits {
+		if v.Time.After(at) {
+			break
+		}
+		cur = v.Sector
+	}
+	return cur
+}
+
+// atHomeThrough reports whether the user is at the home sector for the
+// window [hour, hour+75min) (capped at day end). Sessions started late in
+// an hour drift a few minutes past it, so single-location gating needs the
+// user settled at home slightly beyond the hour itself — otherwise the MME
+// join would attribute the tail of a burst to a different sector.
+func atHomeThrough(visits []mobility.Visit, d simtime.Day, hourOfDay int, u *population.User) bool {
+	if sectorAt(visits, d, hourOfDay) != u.HomeSector {
+		return false
+	}
+	start := d.Time().Add(time.Duration(hourOfDay) * time.Hour)
+	end := start.Add(75 * time.Minute)
+	if dayEndT := d.Time().Add(24 * time.Hour); end.After(dayEndT) {
+		end = dayEndT
+	}
+	for _, v := range visits {
+		if v.Time.After(start) && v.Time.Before(end) && v.Sector != u.HomeSector {
+			return false
+		}
+	}
+	return true
+}
+
+// pickApps chooses the day's app set: one app for 93% of active days.
+// The choice among the user's installed apps is uniform: global app
+// popularity (Fig 5) already flows through the popularity-weighted install
+// sets, and uniform daily rotation lets the number of apps observed over
+// the study approach the installed count the paper reports (§4.3).
+func (g *Generator) pickApps(u *population.User, r *randx.Rand) []*apps.App {
+	n := 1
+	if r.Bool(g.cfg.MultiAppDayProb) {
+		n = 2 + r.IntN(2)
+	}
+	if n > len(u.InstalledApps) {
+		n = len(u.InstalledApps)
+	}
+	picked := r.Perm(len(u.InstalledApps))[:n]
+	out := make([]*apps.App, n)
+	for i, j := range picked {
+		out[i] = g.catalog.Apps()[u.InstalledApps[j]]
+	}
+	return out
+}
+
+// dayEnd is the last instant a transaction may carry while still belonging
+// to the day; late-evening sessions clamp here so a day's traffic never
+// bleeds into the next day's (or week's) accounting.
+func dayEnd(d simtime.Day) time.Time {
+	return d.Time().Add(24*time.Hour - time.Second)
+}
+
+// session emits the transactions of one usage: bursts less than a minute
+// apart, so the analysis-side sessioniser (gap ≥ 1 min) recovers them.
+func (g *Generator) session(u *population.User, app *apps.App, start, latest time.Time, r *randx.Rand) []proxylog.Record {
+	n := r.Poisson(app.Shape.TxPerUsage)
+	if n < 1 {
+		n = 1
+	}
+	mix, err := randx.NewCategorical(app.Shape.Mix[:])
+	if err != nil {
+		return nil
+	}
+	out := make([]proxylog.Record, 0, n)
+	t := start
+	for i := 0; i < n; i++ {
+		if t.After(latest) {
+			t = latest
+		}
+		kind := apps.KindApplication
+		if i > 0 { // the first transaction anchors on the app's own server
+			kind = apps.DomainKind(mix.Sample(r))
+		}
+		rec := g.transaction(u, app, kind, t, r)
+		out = append(out, rec)
+		// Intra-session gap: 5–45 s keeps the burst under the 1-minute
+		// sessionisation threshold.
+		t = t.Add(time.Duration(5+r.IntN(41)) * time.Second)
+	}
+	return out
+}
+
+// transaction builds one proxy record.
+func (g *Generator) transaction(u *population.User, app *apps.App, kind apps.DomainKind, t time.Time, r *randx.Rand) proxylog.Record {
+	var host string
+	factor := 1.0
+	switch kind {
+	case apps.KindApplication:
+		host = app.Hosts[r.IntN(len(app.Hosts))]
+	case apps.KindUtilities:
+		pool := g.catalog.SharedHosts(apps.KindUtilities)
+		host = pool[r.IntN(len(pool))]
+		factor = g.cfg.UtilityBytesFactor
+	case apps.KindAdvertising:
+		pool := g.catalog.SharedHosts(apps.KindAdvertising)
+		host = pool[r.IntN(len(pool))]
+		factor = g.cfg.AdBytesFactor
+	case apps.KindAnalytics:
+		pool := g.catalog.SharedHosts(apps.KindAnalytics)
+		host = pool[r.IntN(len(pool))]
+		factor = g.cfg.AnalyticsBytesFactor
+	}
+
+	bytes := r.LogNormalMedian(app.Shape.TxBytes*factor, app.Shape.TxBytesSigma)
+	if bytes < 200 {
+		bytes = 200
+	}
+	up := int64(bytes * clamp(g.cfg.UpShareMean+0.08*r.NormFloat64(), 0.03, 0.8))
+	down := int64(bytes) - up
+	if down < 0 {
+		down = 0
+	}
+
+	scheme := proxylog.HTTPS
+	path := ""
+	// Payments always ride TLS; otherwise a fixed share is cleartext HTTP
+	// where the proxy logs the full URL.
+	if app.Class != apps.Payment && !r.Bool(g.cfg.HTTPSShare) {
+		scheme = proxylog.HTTP
+		path = httpPaths[r.IntN(len(httpPaths))]
+	}
+
+	durMs := 60 + bytes/25 + float64(r.IntN(120))
+	return proxylog.Record{
+		Time:      t,
+		IMSI:      u.IMSI,
+		IMEI:      u.WearableIMEI,
+		Scheme:    scheme,
+		Host:      host,
+		Path:      path,
+		BytesUp:   up,
+		BytesDown: down,
+		Duration:  time.Duration(durMs) * time.Millisecond,
+	}
+}
+
+var httpPaths = []string{
+	"/api/v1/sync",
+	"/feed/latest",
+	"/notify",
+	"/assets/tile.png",
+	"/update/check",
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

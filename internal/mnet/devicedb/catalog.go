@@ -1,0 +1,81 @@
+package devicedb
+
+import "wearwild/internal/mnet/imei"
+
+// Default returns the device catalogue used by the synthetic ISP. The
+// wearable list mirrors the paper's setting: the operator's SIM-enabled
+// wearables are primarily Android (Wear OS) and Tizen devices from Samsung
+// and LG, and the SIM-enabled Apple Watch Series 3 is NOT yet supported by
+// the operator, so it does not appear. TACs are synthetic allocations in a
+// reserved-looking 353xxxxx / 358xxxxx space.
+func Default() *DB {
+	db := New()
+	add := func(m Model) {
+		if err := db.Add(m); err != nil {
+			panic(err) // static catalogue; any clash is a programming error
+		}
+	}
+
+	// SIM-enabled wearables ("mostly Samsung and LG", §3.2).
+	add(Model{Name: "Samsung Gear S2 Classic 3G", Vendor: "Samsung", OS: "Tizen", Class: WearableSIM, Year: 2015,
+		TACs: []imei.TAC{35332011, 35332012}})
+	add(Model{Name: "Samsung Gear S3 Frontier LTE", Vendor: "Samsung", OS: "Tizen", Class: WearableSIM, Year: 2016,
+		TACs: []imei.TAC{35847309, 35847310, 35847311}})
+	add(Model{Name: "Samsung Gear S", Vendor: "Samsung", OS: "Tizen", Class: WearableSIM, Year: 2014,
+		TACs: []imei.TAC{35291607}})
+	add(Model{Name: "LG Watch Urbane 2nd Edition LTE", Vendor: "LG", OS: "Android Wear", Class: WearableSIM, Year: 2016,
+		TACs: []imei.TAC{35969106, 35969107}})
+	add(Model{Name: "LG Watch Sport LTE", Vendor: "LG", OS: "Android Wear", Class: WearableSIM, Year: 2017,
+		TACs: []imei.TAC{35807408}})
+	add(Model{Name: "Huawei Watch 2 4G", Vendor: "Huawei", OS: "Android Wear", Class: WearableSIM, Year: 2017,
+		TACs: []imei.TAC{86012703}})
+
+	// Smartphones: the bulk of "the remaining customers of the ISP".
+	add(Model{Name: "iPhone 7", Vendor: "Apple", OS: "iOS", Class: Smartphone, Year: 2016,
+		TACs: []imei.TAC{35332811, 35332812}})
+	add(Model{Name: "iPhone 8", Vendor: "Apple", OS: "iOS", Class: Smartphone, Year: 2017,
+		TACs: []imei.TAC{35406111}})
+	add(Model{Name: "iPhone X", Vendor: "Apple", OS: "iOS", Class: Smartphone, Year: 2017,
+		TACs: []imei.TAC{35406512}})
+	add(Model{Name: "Samsung Galaxy S7", Vendor: "Samsung", OS: "Android", Class: Smartphone, Year: 2016,
+		TACs: []imei.TAC{35733009, 35733010}})
+	add(Model{Name: "Samsung Galaxy S8", Vendor: "Samsung", OS: "Android", Class: Smartphone, Year: 2017,
+		TACs: []imei.TAC{35851827}})
+	add(Model{Name: "Samsung Galaxy J5", Vendor: "Samsung", OS: "Android", Class: Smartphone, Year: 2015,
+		TACs: []imei.TAC{35721406}})
+	add(Model{Name: "Huawei P10", Vendor: "Huawei", OS: "Android", Class: Smartphone, Year: 2017,
+		TACs: []imei.TAC{86741203}})
+	add(Model{Name: "Xiaomi Mi 5", Vendor: "Xiaomi", OS: "Android", Class: Smartphone, Year: 2016,
+		TACs: []imei.TAC{86809104}})
+	add(Model{Name: "LG G6", Vendor: "LG", OS: "Android", Class: Smartphone, Year: 2017,
+		TACs: []imei.TAC{35912208}})
+	add(Model{Name: "Nexus 5", Vendor: "LG", OS: "Android", Class: Smartphone, Year: 2013,
+		TACs: []imei.TAC{35824005}})
+
+	// A little long-tail realism: cellular tablets and M2M modules exist in
+	// the logs and must be classified as "not wearable".
+	add(Model{Name: "iPad Air 2 Cellular", Vendor: "Apple", OS: "iOS", Class: Tablet, Year: 2014,
+		TACs: []imei.TAC{35982706}})
+	add(Model{Name: "Galaxy Tab S2 LTE", Vendor: "Samsung", OS: "Android", Class: Tablet, Year: 2015,
+		TACs: []imei.TAC{35706507}})
+	add(Model{Name: "Telit GE910 Module", Vendor: "Telit", OS: "RTOS", Class: M2M, Year: 2012,
+		TACs: []imei.TAC{35713208}})
+
+	return db
+}
+
+// DefaultWithAppleWatch returns the catalogue plus the SIM-enabled Apple
+// Watch Series 3. The paper's operator had not yet enabled it (§3.2) but
+// expected "an even sharper increase" once it shipped; the what-if
+// scenario in examples/applewatch uses this variant.
+func DefaultWithAppleWatch() *DB {
+	db := Default()
+	if err := db.Add(Model{
+		Name: "Apple Watch Series 3 Cellular", Vendor: "Apple", OS: "watchOS",
+		Class: WearableSIM, Year: 2017,
+		TACs: []imei.TAC{35412709, 35412710},
+	}); err != nil {
+		panic(err)
+	}
+	return db
+}

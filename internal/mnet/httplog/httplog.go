@@ -1,0 +1,135 @@
+// Package httplog parses the head of a cleartext HTTP/1.x request — the
+// part a transparent proxy needs to log the full URL (§3.1): request line
+// and Host header. It deliberately avoids net/http's server machinery so
+// the proxy can splice the connection after peeking.
+package httplog
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Head is the logged part of a request.
+type Head struct {
+	Method string
+	// Target is the request-target as sent (origin-form "/path?q" or
+	// absolute-form "http://host/path").
+	Target string
+	Proto  string
+	// Host is the effective host: from an absolute-form target if
+	// present, else the Host header.
+	Host string
+	// Path is the origin-form path component.
+	Path string
+	// Raw is the full head including the terminating blank line, so a
+	// proxy can replay it upstream.
+	Raw []byte
+}
+
+// Limits against hostile input.
+const (
+	maxLineLen   = 8 << 10
+	maxHeadLines = 128
+)
+
+// ErrNotHTTP marks bytes that do not start like an HTTP/1.x request.
+var ErrNotHTTP = errors.New("httplog: not an HTTP/1.x request")
+
+// knownMethods are the request methods the sniffer accepts.
+var knownMethods = map[string]bool{
+	"GET": true, "POST": true, "PUT": true, "DELETE": true, "HEAD": true,
+	"OPTIONS": true, "PATCH": true, "CONNECT": true, "TRACE": true,
+}
+
+// LooksLikeHTTP reports whether the prefix plausibly begins an HTTP/1.x
+// request. It needs at most 8 bytes.
+func LooksLikeHTTP(prefix []byte) bool {
+	if len(prefix) == 0 {
+		return false
+	}
+	i := bytes.IndexByte(prefix, ' ')
+	if i < 0 {
+		// No space yet: accept if the bytes so far prefix a method.
+		for m := range knownMethods {
+			if len(prefix) < len(m) && strings.HasPrefix(m, string(prefix)) {
+				return true
+			}
+		}
+		return false
+	}
+	return knownMethods[string(prefix[:i])]
+}
+
+// ReadHead reads the request head (through the blank line) from r.
+func ReadHead(r *bufio.Reader) (Head, error) {
+	var head Head
+	var raw bytes.Buffer
+
+	line, err := readLine(r, &raw)
+	if err != nil {
+		return head, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !knownMethods[parts[0]] || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return head, ErrNotHTTP
+	}
+	head.Method, head.Target, head.Proto = parts[0], parts[1], parts[2]
+
+	for lines := 0; ; lines++ {
+		if lines > maxHeadLines {
+			return head, fmt.Errorf("httplog: more than %d header lines", maxHeadLines)
+		}
+		l, err := readLine(r, &raw)
+		if err != nil {
+			return head, err
+		}
+		if l == "" {
+			break
+		}
+		if name, value, ok := strings.Cut(l, ":"); ok {
+			if strings.EqualFold(strings.TrimSpace(name), "Host") {
+				head.Host = strings.TrimSpace(value)
+			}
+		}
+	}
+
+	// Absolute-form target (proxy-style request) carries its own host.
+	if strings.HasPrefix(head.Target, "http://") {
+		rest := strings.TrimPrefix(head.Target, "http://")
+		host, path, found := strings.Cut(rest, "/")
+		head.Host = host
+		if found {
+			head.Path = "/" + path
+		} else {
+			head.Path = "/"
+		}
+	} else {
+		head.Path = head.Target
+	}
+	if head.Host == "" {
+		return head, fmt.Errorf("httplog: request without Host")
+	}
+	// Strip a port from the host for logging.
+	if i := strings.LastIndexByte(head.Host, ':'); i > 0 && !strings.Contains(head.Host[i+1:], "]") {
+		head.Host = head.Host[:i]
+	}
+	head.Raw = append([]byte(nil), raw.Bytes()...)
+	return head, nil
+}
+
+// readLine reads one CRLF- (or LF-) terminated line, appending the raw
+// bytes (including the terminator) to raw.
+func readLine(r *bufio.Reader, raw *bytes.Buffer) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("httplog: reading head: %w", err)
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("httplog: header line exceeds %d bytes", maxLineLen)
+	}
+	raw.WriteString(line)
+	return strings.TrimRight(line, "\r\n"), nil
+}

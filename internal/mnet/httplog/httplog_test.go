@@ -1,0 +1,125 @@
+package httplog
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func read(t *testing.T, req string) Head {
+	t.Helper()
+	head, err := ReadHead(bufio.NewReader(strings.NewReader(req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return head
+}
+
+func TestReadHeadOriginForm(t *testing.T) {
+	req := "GET /feed/latest?page=2 HTTP/1.1\r\nHost: news.example.com\r\nUser-Agent: wear/1.0\r\n\r\nBODY"
+	h := read(t, req)
+	if h.Method != "GET" || h.Proto != "HTTP/1.1" {
+		t.Fatalf("head = %+v", h)
+	}
+	if h.Host != "news.example.com" {
+		t.Fatalf("host = %q", h.Host)
+	}
+	if h.Path != "/feed/latest?page=2" {
+		t.Fatalf("path = %q", h.Path)
+	}
+	if !strings.HasSuffix(string(h.Raw), "\r\n\r\n") {
+		t.Fatal("raw head missing terminator")
+	}
+	if strings.Contains(string(h.Raw), "BODY") {
+		t.Fatal("raw head swallowed body bytes")
+	}
+}
+
+func TestReadHeadAbsoluteForm(t *testing.T) {
+	req := "GET http://cdn.example.net/assets/icon.png HTTP/1.1\r\nHost: ignored.example\r\n\r\n"
+	h := read(t, req)
+	if h.Host != "cdn.example.net" {
+		t.Fatalf("host = %q", h.Host)
+	}
+	if h.Path != "/assets/icon.png" {
+		t.Fatalf("path = %q", h.Path)
+	}
+	// Absolute form without a path.
+	h2 := read(t, "GET http://cdn.example.net HTTP/1.0\r\nHost: x\r\n\r\n")
+	if h2.Path != "/" || h2.Host != "cdn.example.net" {
+		t.Fatalf("head = %+v", h2)
+	}
+}
+
+func TestHostPortStripped(t *testing.T) {
+	h := read(t, "POST /api HTTP/1.1\r\nHost: api.example.com:8080\r\n\r\n")
+	if h.Host != "api.example.com" {
+		t.Fatalf("host = %q", h.Host)
+	}
+}
+
+func TestHostHeaderCaseInsensitive(t *testing.T) {
+	h := read(t, "GET / HTTP/1.1\r\nhOsT:   spaced.example  \r\n\r\n")
+	if h.Host != "spaced.example" {
+		t.Fatalf("host = %q", h.Host)
+	}
+}
+
+func TestBareLFTolerated(t *testing.T) {
+	h := read(t, "GET / HTTP/1.1\nHost: lf.example\n\n")
+	if h.Host != "lf.example" {
+		t.Fatalf("host = %q", h.Host)
+	}
+}
+
+func TestRejects(t *testing.T) {
+	cases := map[string]string{
+		"not http":       "HELLO WORLD\r\n\r\n",
+		"bad proto":      "GET / SPDY/3\r\nHost: x\r\n\r\n",
+		"unknown method": "YEET / HTTP/1.1\r\nHost: x\r\n\r\n",
+		"no host":        "GET / HTTP/1.1\r\n\r\n",
+		"truncated":      "GET / HTTP/1.1\r\nHost: x\r\n",
+	}
+	for name, req := range cases {
+		if _, err := ReadHead(bufio.NewReader(strings.NewReader(req))); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestTooManyHeaders(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("GET / HTTP/1.1\r\nHost: x\r\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("X-Pad: y\r\n")
+	}
+	sb.WriteString("\r\n")
+	if _, err := ReadHead(bufio.NewReader(strings.NewReader(sb.String()))); err == nil {
+		t.Fatal("oversized head accepted")
+	}
+}
+
+func TestLooksLikeHTTP(t *testing.T) {
+	yes := [][]byte{
+		[]byte("GET / HT"),
+		[]byte("POST /x "),
+		[]byte("GE"), // prefix of a method, undecided yet -> plausible
+		[]byte("DELETE /"),
+	}
+	for _, p := range yes {
+		if !LooksLikeHTTP(p) {
+			t.Fatalf("%q not recognised", p)
+		}
+	}
+	no := [][]byte{
+		[]byte{0x16, 0x03, 0x01, 0x02, 0x00},
+		[]byte("HELLO WO"),
+		[]byte("get / ht"), // methods are case-sensitive
+		{},
+	}
+	for _, p := range no {
+		if LooksLikeHTTP(p) {
+			t.Fatalf("%q recognised", p)
+		}
+	}
+}

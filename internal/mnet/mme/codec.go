@@ -1,0 +1,151 @@
+package mme
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/subs"
+)
+
+// csvHeader is the column layout of the CSV form.
+var csvHeader = []string{"ts_unix", "imsi", "imei", "sector", "event"}
+
+// WriteCSV streams records as CSV with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range records {
+		row[0] = strconv.FormatInt(r.Time.Unix(), 10)
+		row[1] = r.IMSI.String()
+		row[2] = r.IMEI.String()
+		row[3] = strconv.FormatUint(uint64(r.Sector), 10)
+		row[4] = r.Event.String()
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mme: reading header: %w", err)
+	}
+	if strings.Join(header, ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("mme: unexpected header %v", header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mme: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("mme: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	if len(row) != len(csvHeader) {
+		return Record{}, fmt.Errorf("want %d fields, got %d", len(csvHeader), len(row))
+	}
+	ts, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("timestamp: %v", err)
+	}
+	im, err := subs.Parse(row[1])
+	if err != nil {
+		return Record{}, err
+	}
+	dev, err := imei.Parse(row[2])
+	if err != nil {
+		return Record{}, err
+	}
+	sector, err := strconv.ParseUint(row[3], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("sector: %v", err)
+	}
+	ev, err := ParseEvent(row[4])
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{
+		Time:   time.Unix(ts, 0).UTC(),
+		IMSI:   im,
+		IMEI:   dev,
+		Sector: cells.SectorID(sector),
+		Event:  ev,
+	}, nil
+}
+
+// WriteFile writes records to a file, gzip-compressed when the path ends
+// in ".gz".
+func WriteFile(path string, records []Record) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	var w io.Writer = bw
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(bw)
+		w = gz
+	}
+	if err := WriteCSV(w, records); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a file written by WriteFile.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = bufio.NewReader(f)
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadCSV(r)
+}

@@ -1,0 +1,231 @@
+// Package netproxy implements a working transparent logging proxy: the
+// measurement middlebox of §3.1 as running code. It accepts TCP
+// connections, sniffs the first bytes to tell TLS from cleartext HTTP,
+// extracts the SNI (via the hand-written ClientHello parser) or the full
+// URL (via the HTTP head parser), splices the connection to the origin,
+// counts bytes in both directions and emits one proxylog.Record per
+// connection — the same record schema the synthetic ISP generates.
+package netproxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wearwild/internal/mnet/httplog"
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/sni"
+	"wearwild/internal/mnet/subs"
+)
+
+// Identity is the subscriber attribution of a connection. A real
+// deployment resolves it from the GTP tunnel; tests and examples supply a
+// static mapping.
+type Identity struct {
+	IMSI subs.IMSI
+	IMEI imei.IMEI
+}
+
+// Config wires a proxy.
+type Config struct {
+	// Dial opens a connection to the origin serving host. Required.
+	// isTLS reports which side of the sniff the connection came from so a
+	// dialer can choose ports.
+	Dial func(host string, isTLS bool) (net.Conn, error)
+	// Identify attributes a client connection to a subscriber. Optional;
+	// records carry zero identities without it.
+	Identify func(remote net.Addr) Identity
+	// Log receives one record per proxied connection. Required.
+	Log func(proxylog.Record)
+	// Now stamps records; defaults to time.Now.
+	Now func() time.Time
+	// SniffTimeout bounds how long the proxy waits for the first bytes.
+	SniffTimeout time.Duration
+}
+
+// Proxy is a running transparent proxy.
+type Proxy struct {
+	cfg    Config
+	mu     sync.Mutex // guards ln against Serve/Close racing
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("netproxy: Dial is required")
+	}
+	if cfg.Log == nil {
+		return nil, fmt.Errorf("netproxy: Log is required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.SniffTimeout <= 0 {
+		cfg.SniffTimeout = 10 * time.Second
+	}
+	return &Proxy{cfg: cfg}, nil
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean Close.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	p.ln = ln
+	alreadyClosed := p.closed.Load()
+	p.mu.Unlock()
+	if alreadyClosed {
+		_ = ln.Close()
+		return nil
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if p.closed.Load() {
+				p.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	p.mu.Lock()
+	ln := p.ln
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// handle sniffs and splices one client connection.
+func (p *Proxy) handle(client net.Conn) {
+	defer client.Close()
+	start := p.cfg.Now()
+	_ = client.SetReadDeadline(start.Add(p.cfg.SniffTimeout))
+
+	br := bufio.NewReader(client)
+	prefix, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+
+	var (
+		host, path string
+		scheme     proxylog.Scheme
+		replay     []byte
+	)
+	switch {
+	case prefix[0] == 0x16: // TLS handshake record
+		info, raw, err := sni.ReadClientHello(br)
+		if err != nil || info.ServerName == "" {
+			return
+		}
+		host, scheme, replay = info.ServerName, proxylog.HTTPS, raw
+	default:
+		peek, _ := br.Peek(8)
+		if !httplog.LooksLikeHTTP(peek) {
+			return
+		}
+		head, err := httplog.ReadHead(br)
+		if err != nil {
+			return
+		}
+		host, path, scheme, replay = head.Host, head.Path, proxylog.HTTP, head.Raw
+	}
+	_ = client.SetReadDeadline(time.Time{})
+
+	origin, err := p.cfg.Dial(host, scheme == proxylog.HTTPS)
+	if err != nil {
+		return
+	}
+	defer origin.Close()
+
+	up, down := p.splice(client, br, origin, replay)
+
+	rec := proxylog.Record{
+		Time:      start,
+		Scheme:    scheme,
+		Host:      host,
+		Path:      path,
+		BytesUp:   up,
+		BytesDown: down,
+		Duration:  p.cfg.Now().Sub(start),
+	}
+	if p.cfg.Identify != nil {
+		id := p.cfg.Identify(client.RemoteAddr())
+		rec.IMSI, rec.IMEI = id.IMSI, id.IMEI
+	}
+	p.cfg.Log(rec)
+}
+
+// splice replays the sniffed bytes upstream and pipes both directions,
+// returning the byte counts (sniffed bytes count as uplink).
+func (p *Proxy) splice(client net.Conn, clientBuf *bufio.Reader, origin net.Conn, replay []byte) (up, down int64) {
+	if len(replay) > 0 {
+		if _, err := origin.Write(replay); err != nil {
+			return 0, 0
+		}
+		up += int64(len(replay))
+	}
+
+	var wg sync.WaitGroup
+	var upPiped, downPiped int64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		n, _ := io.Copy(origin, clientBuf)
+		atomic.AddInt64(&upPiped, n)
+		closeWrite(origin)
+	}()
+	go func() {
+		defer wg.Done()
+		n, _ := io.Copy(client, origin)
+		atomic.AddInt64(&downPiped, n)
+		closeWrite(client)
+	}()
+	wg.Wait()
+	return up + atomic.LoadInt64(&upPiped), atomic.LoadInt64(&downPiped)
+}
+
+// closeWrite half-closes when the transport supports it, so the other
+// direction can drain; otherwise it sets a short deadline to unblock.
+func closeWrite(c net.Conn) {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := c.(closeWriter); ok {
+		_ = cw.CloseWrite()
+		return
+	}
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+}
+
+// ListenAndServe is a convenience: listen on addr and serve until Close.
+func (p *Proxy) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return p.Serve(ln)
+}
+
+// ErrClosed is returned by helpers once the proxy shut down.
+var ErrClosed = errors.New("netproxy: closed")

@@ -1,0 +1,119 @@
+package proxylog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/subs"
+)
+
+// csvHeader is the column layout of the CSV form. Times are millisecond
+// unix timestamps: transactions cluster within seconds.
+var csvHeader = []string{"ts_ms", "imsi", "imei", "scheme", "host", "path", "up", "down", "dur_ms"}
+
+// WriteCSV streams records as CSV with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range records {
+		row[0] = strconv.FormatInt(r.Time.UnixMilli(), 10)
+		row[1] = r.IMSI.String()
+		row[2] = r.IMEI.String()
+		row[3] = r.Scheme.String()
+		row[4] = r.Host
+		row[5] = r.Path
+		row[6] = strconv.FormatInt(r.BytesUp, 10)
+		row[7] = strconv.FormatInt(r.BytesDown, 10)
+		row[8] = strconv.FormatInt(r.Duration.Milliseconds(), 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a stream written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("proxylog: reading header: %w", err)
+	}
+	if strings.Join(header, ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("proxylog: unexpected header %v", header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("proxylog: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("proxylog: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	if len(row) != len(csvHeader) {
+		return Record{}, fmt.Errorf("want %d fields, got %d", len(csvHeader), len(row))
+	}
+	ts, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("timestamp: %v", err)
+	}
+	im, err := subs.Parse(row[1])
+	if err != nil {
+		return Record{}, err
+	}
+	dev, err := imei.Parse(row[2])
+	if err != nil {
+		return Record{}, err
+	}
+	scheme, err := ParseScheme(row[3])
+	if err != nil {
+		return Record{}, err
+	}
+	up, err := strconv.ParseInt(row[6], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("up bytes: %v", err)
+	}
+	down, err := strconv.ParseInt(row[7], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("down bytes: %v", err)
+	}
+	durMs, err := strconv.ParseInt(row[8], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("duration: %v", err)
+	}
+	rec := Record{
+		Time:      time.UnixMilli(ts).UTC(),
+		IMSI:      im,
+		IMEI:      dev,
+		Scheme:    scheme,
+		Host:      row[4],
+		Path:      row[5],
+		BytesUp:   up,
+		BytesDown: down,
+		Duration:  time.Duration(durMs) * time.Millisecond,
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,72 @@
+package proxylog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Decoder robustness: arbitrary bytes must never panic and must either
+// fail cleanly or produce valid records.
+func TestBinaryDecoderGarbageProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		recs, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for _, r := range recs {
+			// Whatever decodes must at least be internally consistent.
+			if r.Host == "" && len(recs) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Flipping any single byte of a valid stream must never panic, and if it
+// still decodes, the record count cannot explode.
+func TestBinaryDecoderBitflipProperty(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for pos := 0; pos < len(orig); pos++ {
+		for _, delta := range []byte{0x01, 0x80, 0xFF} {
+			mut := append([]byte(nil), orig...)
+			mut[pos] ^= delta
+			got, err := ReadBinary(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			if len(got) > len(recs)*4 {
+				t.Fatalf("bitflip at %d produced %d records from %d", pos, len(got), len(recs))
+			}
+		}
+	}
+}
+
+// The CSV reader must reject rows whose values violate record invariants
+// rather than propagate them.
+func TestCSVDecoderGarbageProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		recs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for _, r := range recs {
+			if r.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package proxylog models the transparent Web-proxy vantage point: one
+// record per HTTP/HTTPS transaction, carrying the SNI (for HTTPS) or the
+// full URL (for HTTP), transferred byte counts and timing (§3.1, §3.3).
+// The study's application identification consumes exactly these fields.
+package proxylog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/subs"
+)
+
+// Scheme is the transaction's protocol as the proxy sees it.
+type Scheme uint8
+
+const (
+	// HTTP is a cleartext transaction: the proxy logs the full URL.
+	HTTP Scheme = iota
+	// HTTPS is a TLS transaction: the proxy logs only the SNI host.
+	HTTPS
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case HTTP:
+		return "http"
+	case HTTPS:
+		return "https"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme inverts Scheme.String.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "http":
+		return HTTP, nil
+	case "https":
+		return HTTPS, nil
+	default:
+		return 0, fmt.Errorf("proxylog: unknown scheme %q", s)
+	}
+}
+
+// Record is one proxy log line.
+type Record struct {
+	Time   time.Time
+	IMSI   subs.IMSI
+	IMEI   imei.IMEI
+	Scheme Scheme
+	// Host is the SNI (HTTPS) or URL host (HTTP).
+	Host string
+	// Path is the URL path for HTTP transactions; empty for HTTPS, where
+	// the proxy cannot see past the handshake.
+	Path string
+	// BytesUp and BytesDown are payload bytes in each direction.
+	BytesUp   int64
+	BytesDown int64
+	// Duration is the transaction duration.
+	Duration time.Duration
+}
+
+// Bytes returns the transaction's total byte count.
+func (r Record) Bytes() int64 { return r.BytesUp + r.BytesDown }
+
+// URL reconstructs the logged URL: scheme://host/path for HTTP, and just
+// the host-based form for HTTPS.
+func (r Record) URL() string {
+	if r.Scheme == HTTP {
+		return "http://" + r.Host + r.Path
+	}
+	return "https://" + r.Host
+}
+
+// Validate checks the invariants the generator and proxy must uphold.
+func (r Record) Validate() error {
+	if r.Host == "" {
+		return fmt.Errorf("proxylog: empty host")
+	}
+	if r.BytesUp < 0 || r.BytesDown < 0 {
+		return fmt.Errorf("proxylog: negative byte count")
+	}
+	if r.Duration < 0 {
+		return fmt.Errorf("proxylog: negative duration")
+	}
+	if r.Scheme == HTTPS && r.Path != "" {
+		return fmt.Errorf("proxylog: HTTPS record carries a path")
+	}
+	return nil
+}
+
+// Log is an in-memory proxy log.
+type Log struct {
+	Records []Record
+}
+
+// Append adds a record.
+func (l *Log) Append(r Record) { l.Records = append(l.Records, r) }
+
+// Len returns the record count.
+func (l *Log) Len() int { return len(l.Records) }
+
+// SortByTime orders records chronologically (stable).
+func (l *Log) SortByTime() {
+	sort.SliceStable(l.Records, func(i, j int) bool {
+		return l.Records[i].Time.Before(l.Records[j].Time)
+	})
+}
+
+// Sorted reports whether the log is chronological.
+func (l *Log) Sorted() bool {
+	for i := 1; i < len(l.Records); i++ {
+		if l.Records[i].Time.Before(l.Records[i-1].Time) {
+			return false
+		}
+	}
+	return true
+}
+
+// ByUser groups records per subscriber, preserving order.
+func (l *Log) ByUser() map[subs.IMSI][]Record {
+	out := make(map[subs.IMSI][]Record)
+	for _, r := range l.Records {
+		out[r.IMSI] = append(out[r.IMSI], r)
+	}
+	return out
+}
+
+// TotalBytes sums all transaction bytes.
+func (l *Log) TotalBytes() int64 {
+	var sum int64
+	for _, r := range l.Records {
+		sum += r.Bytes()
+	}
+	return sum
+}

@@ -1,0 +1,358 @@
+// Package sni parses TLS ClientHello messages to extract the server name
+// (SNI) — the field a transparent proxy logs for HTTPS traffic (§3.1,
+// §3.3). The parser is a from-scratch implementation of the record and
+// handshake framing of RFC 8446/5246 plus the server_name (RFC 6066) and
+// ALPN (RFC 7301) extensions, written to be safe on arbitrary bytes.
+package sni
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Limits that keep a malicious peer from ballooning allocations.
+const (
+	// maxRecordLen bounds one TLS record body (RFC allows 2^14 + some
+	// expansion; ClientHellos are far smaller).
+	maxRecordLen = 1 << 14
+	// maxHelloLen bounds the reassembled handshake message.
+	maxHelloLen = 1 << 16
+)
+
+// TLS constants used by the parser.
+const (
+	recordTypeHandshake  = 0x16
+	handshakeClientHello = 0x01
+
+	extServerName = 0
+	extALPN       = 16
+
+	sniTypeHostname = 0
+)
+
+// Info is what the proxy learns from a ClientHello.
+type Info struct {
+	// ServerName is the SNI hostname ("" when the extension is absent).
+	ServerName string
+	// ALPN lists the offered application protocols, e.g. "h2",
+	// "http/1.1".
+	ALPN []string
+	// Version is the legacy_version field of the hello.
+	Version uint16
+	// CipherSuites is the number of cipher suites offered.
+	CipherSuites int
+}
+
+// Common parse errors.
+var (
+	ErrNotTLS         = errors.New("sni: not a TLS handshake record")
+	ErrNotClientHello = errors.New("sni: handshake is not a ClientHello")
+	ErrTruncated      = errors.New("sni: truncated ClientHello")
+)
+
+// Parse extracts ClientHello information from raw bytes as read off a
+// connection. The buffer may contain more than one TLS record; handshake
+// fragments spanning records are reassembled.
+func Parse(data []byte) (Info, error) {
+	hello, err := reassembleHandshake(data)
+	if err != nil {
+		return Info{}, err
+	}
+	return parseClientHello(hello)
+}
+
+// reassembleHandshake concatenates the handshake fragments of leading
+// handshake-type records until a full ClientHello message is available.
+func reassembleHandshake(data []byte) ([]byte, error) {
+	var hs []byte
+	off := 0
+	for {
+		if off+5 > len(data) {
+			if len(hs) == 0 {
+				return nil, ErrTruncated
+			}
+			break
+		}
+		if data[off] != recordTypeHandshake {
+			if off == 0 {
+				return nil, ErrNotTLS
+			}
+			break
+		}
+		n := int(data[off+3])<<8 | int(data[off+4])
+		if n == 0 || n > maxRecordLen {
+			return nil, fmt.Errorf("sni: implausible record length %d", n)
+		}
+		if off+5+n > len(data) {
+			// Partial record: take what we have.
+			hs = append(hs, data[off+5:]...)
+			break
+		}
+		hs = append(hs, data[off+5:off+5+n]...)
+		off += 5 + n
+		if len(hs) >= 4 {
+			want := 4 + (int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3]))
+			if len(hs) >= want {
+				break
+			}
+		}
+		if len(hs) > maxHelloLen {
+			return nil, fmt.Errorf("sni: handshake exceeds %d bytes", maxHelloLen)
+		}
+	}
+	if len(hs) < 4 {
+		return nil, ErrTruncated
+	}
+	if hs[0] != handshakeClientHello {
+		return nil, ErrNotClientHello
+	}
+	want := 4 + (int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3]))
+	if want > maxHelloLen {
+		return nil, fmt.Errorf("sni: hello length %d implausible", want)
+	}
+	if len(hs) < want {
+		return nil, ErrTruncated
+	}
+	return hs[4:want], nil
+}
+
+// cursor is a bounds-checked byte reader.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) take(n int) ([]byte, bool) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, false
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out, true
+}
+
+func (c *cursor) u8() (int, bool) {
+	b, ok := c.take(1)
+	if !ok {
+		return 0, false
+	}
+	return int(b[0]), true
+}
+
+func (c *cursor) u16() (int, bool) {
+	b, ok := c.take(2)
+	if !ok {
+		return 0, false
+	}
+	return int(b[0])<<8 | int(b[1]), true
+}
+
+// parseClientHello walks the hello body (after the 4-byte handshake
+// header).
+func parseClientHello(body []byte) (Info, error) {
+	c := &cursor{b: body}
+	var info Info
+
+	ver, ok := c.u16()
+	if !ok {
+		return info, ErrTruncated
+	}
+	info.Version = uint16(ver)
+	if _, ok := c.take(32); !ok { // random
+		return info, ErrTruncated
+	}
+	sessLen, ok := c.u8()
+	if !ok {
+		return info, ErrTruncated
+	}
+	if _, ok := c.take(sessLen); !ok {
+		return info, ErrTruncated
+	}
+	csLen, ok := c.u16()
+	if !ok {
+		return info, ErrTruncated
+	}
+	if csLen%2 != 0 {
+		return info, fmt.Errorf("sni: odd cipher suite length %d", csLen)
+	}
+	if _, ok := c.take(csLen); !ok {
+		return info, ErrTruncated
+	}
+	info.CipherSuites = csLen / 2
+	compLen, ok := c.u8()
+	if !ok {
+		return info, ErrTruncated
+	}
+	if _, ok := c.take(compLen); !ok {
+		return info, ErrTruncated
+	}
+
+	if c.off == len(c.b) {
+		return info, nil // no extensions: legal, no SNI
+	}
+	extTotal, ok := c.u16()
+	if !ok {
+		return info, ErrTruncated
+	}
+	exts, ok := c.take(extTotal)
+	if !ok {
+		return info, ErrTruncated
+	}
+	ec := &cursor{b: exts}
+	for ec.off < len(ec.b) {
+		extType, ok := ec.u16()
+		if !ok {
+			return info, ErrTruncated
+		}
+		extLen, ok := ec.u16()
+		if !ok {
+			return info, ErrTruncated
+		}
+		extBody, ok := ec.take(extLen)
+		if !ok {
+			return info, ErrTruncated
+		}
+		switch extType {
+		case extServerName:
+			name, err := parseServerName(extBody)
+			if err != nil {
+				return info, err
+			}
+			info.ServerName = name
+		case extALPN:
+			protos, err := parseALPN(extBody)
+			if err != nil {
+				return info, err
+			}
+			info.ALPN = protos
+		}
+	}
+	return info, nil
+}
+
+// parseServerName extracts the hostname entry of a server_name extension.
+func parseServerName(body []byte) (string, error) {
+	c := &cursor{b: body}
+	listLen, ok := c.u16()
+	if !ok {
+		return "", ErrTruncated
+	}
+	list, ok := c.take(listLen)
+	if !ok {
+		return "", ErrTruncated
+	}
+	lc := &cursor{b: list}
+	for lc.off < len(lc.b) {
+		nameType, ok := lc.u8()
+		if !ok {
+			return "", ErrTruncated
+		}
+		nameLen, ok := lc.u16()
+		if !ok {
+			return "", ErrTruncated
+		}
+		name, ok := lc.take(nameLen)
+		if !ok {
+			return "", ErrTruncated
+		}
+		if nameType == sniTypeHostname {
+			if !validHostname(name) {
+				return "", fmt.Errorf("sni: invalid hostname %q", name)
+			}
+			return string(name), nil
+		}
+	}
+	return "", nil
+}
+
+// parseALPN extracts the protocol list of an ALPN extension.
+func parseALPN(body []byte) ([]string, error) {
+	c := &cursor{b: body}
+	listLen, ok := c.u16()
+	if !ok {
+		return nil, ErrTruncated
+	}
+	list, ok := c.take(listLen)
+	if !ok {
+		return nil, ErrTruncated
+	}
+	lc := &cursor{b: list}
+	var out []string
+	for lc.off < len(lc.b) {
+		n, ok := lc.u8()
+		if !ok {
+			return nil, ErrTruncated
+		}
+		p, ok := lc.take(n)
+		if !ok {
+			return nil, ErrTruncated
+		}
+		out = append(out, string(p))
+	}
+	return out, nil
+}
+
+// validHostname accepts DNS-ish names: letters, digits, '-', '.' and no
+// empty labels. It rejects raw bytes that would pollute logs.
+func validHostname(b []byte) bool {
+	if len(b) == 0 || len(b) > 255 {
+		return false
+	}
+	labelLen := 0
+	for _, ch := range b {
+		switch {
+		case ch == '.':
+			if labelLen == 0 {
+				return false
+			}
+			labelLen = 0
+		case ch == '-' || ch == '_' ||
+			(ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9'):
+			labelLen++
+			if labelLen > 63 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return labelLen > 0
+}
+
+// ReadClientHello reads exactly the leading ClientHello from r and returns
+// both the parsed info and the raw bytes consumed, so a proxy can replay
+// them to the upstream connection.
+func ReadClientHello(r io.Reader) (Info, []byte, error) {
+	var raw []byte
+	header := make([]byte, 5)
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			return Info{}, raw, fmt.Errorf("sni: reading record header: %w", err)
+		}
+		raw = append(raw, header...)
+		if header[0] != recordTypeHandshake {
+			return Info{}, raw, ErrNotTLS
+		}
+		n := int(header[3])<<8 | int(header[4])
+		if n == 0 || n > maxRecordLen {
+			return Info{}, raw, fmt.Errorf("sni: implausible record length %d", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return Info{}, raw, fmt.Errorf("sni: reading record body: %w", err)
+		}
+		raw = append(raw, body...)
+
+		info, err := Parse(raw)
+		if err == nil {
+			return info, raw, nil
+		}
+		if !errors.Is(err, ErrTruncated) {
+			return Info{}, raw, err
+		}
+		if len(raw) > maxHelloLen+4096 {
+			return Info{}, raw, fmt.Errorf("sni: ClientHello never completed")
+		}
+	}
+}

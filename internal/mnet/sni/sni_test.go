@@ -1,0 +1,259 @@
+package sni
+
+import (
+	"bytes"
+	"crypto/tls"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// buildHello constructs a ClientHello by hand so the parser is tested
+// against an independent encoder.
+type helloSpec struct {
+	version    uint16
+	sessionLen int
+	ciphers    int
+	sni        string
+	alpn       []string
+	// fragment splits the handshake across TLS records of this size
+	// (0 = single record).
+	fragment int
+}
+
+func buildHello(s helloSpec) []byte {
+	var body bytes.Buffer
+	body.Write([]byte{byte(s.version >> 8), byte(s.version)})
+	body.Write(make([]byte, 32)) // random
+	body.WriteByte(byte(s.sessionLen))
+	body.Write(make([]byte, s.sessionLen))
+	body.Write([]byte{byte(s.ciphers * 2 >> 8), byte(s.ciphers * 2)})
+	body.Write(make([]byte, s.ciphers*2))
+	body.WriteByte(1) // compression methods
+	body.WriteByte(0)
+
+	var exts bytes.Buffer
+	if s.sni != "" {
+		name := []byte(s.sni)
+		entry := append([]byte{0, byte(len(name) >> 8), byte(len(name))}, name...)
+		list := append([]byte{byte(len(entry) >> 8), byte(len(entry))}, entry...)
+		exts.Write([]byte{0, 0, byte(len(list) >> 8), byte(len(list))})
+		exts.Write(list)
+	}
+	if len(s.alpn) > 0 {
+		var protos bytes.Buffer
+		for _, p := range s.alpn {
+			protos.WriteByte(byte(len(p)))
+			protos.WriteString(p)
+		}
+		list := append([]byte{byte(protos.Len() >> 8), byte(protos.Len())}, protos.Bytes()...)
+		exts.Write([]byte{0, 16, byte(len(list) >> 8), byte(len(list))})
+		exts.Write(list)
+	}
+	if exts.Len() > 0 {
+		body.Write([]byte{byte(exts.Len() >> 8), byte(exts.Len())})
+		body.Write(exts.Bytes())
+	}
+
+	hs := append([]byte{handshakeClientHello,
+		byte(body.Len() >> 16), byte(body.Len() >> 8), byte(body.Len())}, body.Bytes()...)
+
+	frag := s.fragment
+	if frag <= 0 {
+		frag = len(hs)
+	}
+	var out bytes.Buffer
+	for off := 0; off < len(hs); off += frag {
+		end := off + frag
+		if end > len(hs) {
+			end = len(hs)
+		}
+		chunk := hs[off:end]
+		out.Write([]byte{recordTypeHandshake, 3, 1, byte(len(chunk) >> 8), byte(len(chunk))})
+		out.Write(chunk)
+	}
+	return out.Bytes()
+}
+
+func TestParseBasic(t *testing.T) {
+	raw := buildHello(helloSpec{version: 0x0303, ciphers: 12, sni: "api.weather.app", alpn: []string{"h2", "http/1.1"}})
+	info, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "api.weather.app" {
+		t.Fatalf("sni = %q", info.ServerName)
+	}
+	if info.Version != 0x0303 || info.CipherSuites != 12 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.ALPN) != 2 || info.ALPN[0] != "h2" {
+		t.Fatalf("alpn = %v", info.ALPN)
+	}
+}
+
+func TestParseNoExtensions(t *testing.T) {
+	raw := buildHello(helloSpec{version: 0x0301, ciphers: 1})
+	info, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "" || info.ALPN != nil {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestParseFragmented(t *testing.T) {
+	// The hello spans multiple TLS records.
+	raw := buildHello(helloSpec{version: 0x0303, ciphers: 30, sessionLen: 32, sni: "push.deezer.app", fragment: 48})
+	info, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "push.deezer.app" {
+		t.Fatalf("sni = %q", info.ServerName)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"not tls":      []byte("GET / HTTP/1.1\r\n"),
+		"short header": {0x16, 3, 1},
+		"zero length":  {0x16, 3, 1, 0, 0},
+	}
+	for name, raw := range cases {
+		if _, err := Parse(raw); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	// A ServerHello (type 2) inside a handshake record.
+	sh := []byte{0x16, 3, 1, 0, 5, 0x02, 0, 0, 1, 0}
+	if _, err := Parse(sh); !errors.Is(err, ErrNotClientHello) {
+		t.Fatalf("server hello error = %v", err)
+	}
+	// Truncated hello body.
+	raw := buildHello(helloSpec{version: 0x0303, ciphers: 8, sni: "x.example"})
+	if _, err := Parse(raw[:len(raw)-4]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated error = %v", err)
+	}
+}
+
+func TestParseRejectsBadHostname(t *testing.T) {
+	for _, bad := range []string{"bad host", "a..b", ".lead", "trail."} {
+		raw := buildHello(helloSpec{version: 0x0303, ciphers: 2, sni: bad})
+		if _, err := Parse(raw); err == nil {
+			t.Fatalf("hostname %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"a.b", "xn--caf-dma.example", "a-b_c.example"} {
+		raw := buildHello(helloSpec{version: 0x0303, ciphers: 2, sni: good})
+		info, err := Parse(raw)
+		if err != nil || info.ServerName != good {
+			t.Fatalf("hostname %q: %v", good, err)
+		}
+	}
+}
+
+// Property: the parser never panics and round-trips the SNI for arbitrary
+// well-formed hellos.
+func TestParseProperty(t *testing.T) {
+	f := func(ciphers, sessLen uint8, fragRaw uint8, label1, label2 string) bool {
+		host := sanitizeLabel(label1) + "." + sanitizeLabel(label2)
+		spec := helloSpec{
+			version:    0x0303,
+			ciphers:    int(ciphers%40) + 1,
+			sessionLen: int(sessLen % 33),
+			sni:        host,
+			fragment:   int(fragRaw), // 0 = single record
+		}
+		raw := buildHello(spec)
+		info, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		return info.ServerName == host && info.CipherSuites == spec.ciphers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary garbage never panics the parser.
+func TestParseGarbageProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeLabel(s string) string {
+	out := []byte{}
+	for i := 0; i < len(s) && len(out) < 20; i++ {
+		ch := s[i]
+		if (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') {
+			out = append(out, ch)
+		}
+	}
+	if len(out) == 0 {
+		return "x"
+	}
+	return string(out)
+}
+
+// TestRealCryptoTLSClientHello feeds the parser an actual ClientHello
+// produced by the standard library's TLS stack.
+func TestRealCryptoTLSClientHello(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+
+	go func() {
+		conn := tls.Client(client, &tls.Config{
+			ServerName: "graph.social.example.com",
+			NextProtos: []string{"h2", "http/1.1"},
+			MinVersion: tls.VersionTLS12,
+		})
+		// Handshake will stall after the hello; we only need the first
+		// flight.
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		_ = conn.Handshake()
+		_ = conn.Close()
+	}()
+
+	_ = server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	info, raw, err := ReadClientHello(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != "graph.social.example.com" {
+		t.Fatalf("sni = %q", info.ServerName)
+	}
+	if len(info.ALPN) == 0 {
+		t.Fatal("no ALPN from crypto/tls hello")
+	}
+	if info.CipherSuites == 0 {
+		t.Fatal("no cipher suites parsed")
+	}
+	if len(raw) < 50 {
+		t.Fatalf("raw bytes = %d", len(raw))
+	}
+	// The raw bytes must re-parse identically (a proxy replays them).
+	again, err := Parse(raw)
+	if err != nil || again.ServerName != info.ServerName {
+		t.Fatalf("raw replay parse: %v, %q", err, again.ServerName)
+	}
+}
+
+func TestReadClientHelloErrors(t *testing.T) {
+	if _, _, err := ReadClientHello(bytes.NewReader([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))); !errors.Is(err, ErrNotTLS) {
+		t.Fatalf("http bytes error = %v", err)
+	}
+	if _, _, err := ReadClientHello(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty reader accepted")
+	}
+}

@@ -1,0 +1,389 @@
+// Package report renders study results as the tables and series the paper
+// presents: one renderer per figure, plus paper-vs-measured comparison
+// tables for the reproduction log. Output is plain text suitable for
+// terminals and for committing next to the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"wearwild/internal/core"
+	"wearwild/internal/gen/apps"
+)
+
+// Renderer writes result sections to one writer.
+type Renderer struct {
+	w io.Writer
+	// MaxRows truncates long app tables (0 = no limit).
+	MaxRows int
+}
+
+// New returns a renderer. maxRows truncates app-level tables (0 keeps all
+// rows).
+func New(w io.Writer, maxRows int) *Renderer {
+	return &Renderer{w: w, MaxRows: maxRows}
+}
+
+func (r *Renderer) printf(format string, args ...any) {
+	fmt.Fprintf(r.w, format, args...)
+}
+
+func (r *Renderer) section(title string) {
+	r.printf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// All renders every figure.
+func (r *Renderer) All(res *core.Results) {
+	r.Fig2a(res)
+	r.Fig2b(res)
+	r.Fig3a(res)
+	r.Fig3b(res)
+	r.Fig3c(res)
+	r.Fig3d(res)
+	r.Fig4a(res)
+	r.Fig4b(res)
+	r.Fig4c(res)
+	r.Fig4d(res)
+	r.Fig5a(res)
+	r.Fig5b(res)
+	r.Fig6(res)
+	r.Fig7(res)
+	r.Fig8(res)
+	r.Weekly(res)
+	r.Takeaways(res)
+	r.ThroughDevice(res)
+}
+
+// Fig2a renders the adoption series.
+func (r *Renderer) Fig2a(res *core.Results) {
+	a := res.Fig2a
+	r.section("Fig 2(a) — SIM-enabled wearable adoption")
+	r.printf("wearable users (absolute)  %d\n", a.WearableUsers)
+	r.printf("growth                     %+.1f%% total, %+.2f%%/month (paper: +9%%, +1.5%%/month)\n",
+		a.TotalGrowthPct, a.MonthlyGrowthPct)
+	r.printf("ever transmitted data      %.0f%% (paper: 34%%)\n", 100*a.DataActiveShare)
+	if n := len(a.Normalized); n > 0 {
+		r.printf("normalised daily users     first=%.3f mid=%.3f last=%.3f\n",
+			a.Normalized[0], a.Normalized[n/2], a.Normalized[n-1])
+		r.sparkline(a.Normalized)
+	}
+}
+
+// Fig2b renders the retention comparison.
+func (r *Renderer) Fig2b(res *core.Results) {
+	b := res.Fig2b
+	r.section("Fig 2(b) — first week vs last week")
+	r.printf("first-week users           %d\n", b.FirstWeekUsers)
+	r.printf("still active in last week  %.0f%% (paper: 77%%)\n", 100*b.RetainedFrac)
+	r.printf("abandoned                  %.0f%% (paper: 7%%)\n", 100*b.AbandonedFrac)
+	r.printf("intermittent               %.0f%%\n", 100*b.IntermittentFrac)
+}
+
+// Fig3a renders the hourly usage pattern.
+func (r *Renderer) Fig3a(res *core.Results) {
+	h := res.Fig3a
+	r.section("Fig 3(a) — hourly usage (normalised by weekly totals)")
+	r.printf("daily active share of weekly actives: %.0f%% (paper: 35%%)\n", 100*h.DailyActiveShare)
+	r.printf("relative weekend usage vs ISP baseline: %.2fx; evening: %.2fx (paper: slightly higher)\n\n",
+		h.RelativeWeekendFactor, h.RelativeEveningFactor)
+	r.printf("hour  wd-users  we-users     wd-tx     we-tx   wd-data   we-data\n")
+	for hr := 0; hr < 24; hr++ {
+		r.printf("%4d  %8.4f  %8.4f  %8.4f  %8.4f  %8.4f  %8.4f\n",
+			hr, h.WeekdayUsers[hr], h.WeekendUsers[hr],
+			h.WeekdayTx[hr], h.WeekendTx[hr],
+			h.WeekdayBytes[hr], h.WeekendBytes[hr])
+	}
+}
+
+// Fig3b renders activity distributions.
+func (r *Renderer) Fig3b(res *core.Results) {
+	b := res.Fig3b
+	r.section("Fig 3(b) — active days per week / hours per day")
+	r.printf("mean active days/week      %.2f (paper: ≈1)\n", b.MeanDays)
+	r.printf("mean active hours/day      %.2f (paper: ≈3)\n", b.MeanHours)
+	r.printf("days ≤ 5h                  %.0f%% (paper: 80%%)\n", 100*b.FracUnder5h)
+	r.printf("days > 10h                 %.0f%% (paper: 7%%)\n", 100*b.FracOver10h)
+	r.cdf("active days/week", b.DaysPerWeek)
+	r.cdf("active hours/day", b.HoursPerDay)
+}
+
+// Fig3c renders transaction statistics.
+func (r *Renderer) Fig3c(res *core.Results) {
+	c := res.Fig3c
+	r.section("Fig 3(c) — transaction sizes and hourly rates")
+	r.printf("median transaction size    %.1f KB (paper: ≈3 KB)\n", c.MedianSizeBytes/1024)
+	r.printf("transactions ≤ 10 KB       %.0f%% (paper: 80%%)\n", 100*c.FracUnder10KB)
+	r.printf("log-size std wear/phone    %.2f / %.2f (paper: wearables more sharply centred)\n",
+		c.WearableLogSizeStd, c.PhoneLogSizeStd)
+	r.cdf("transaction size (B)", c.SizeCDF)
+	r.histogram("size distribution (log bins)", c.SizeHistogram)
+	r.cdf("per-user tx/hour", c.HourlyTxPerUser)
+	r.cdf("per-user KB/hour", c.HourlyKBPerUser)
+}
+
+// Fig3d renders the activity coupling.
+func (r *Renderer) Fig3d(res *core.Results) {
+	d := res.Fig3d
+	r.section("Fig 3(d) — active hours vs transactions per hour")
+	r.printf("Spearman correlation       %.2f (paper: clearly positive)\n", d.Spearman)
+	r.printf("hours/day   mean tx/hour\n")
+	for i := range d.HoursBucket {
+		r.printf("%9.0f   %12.2f\n", d.HoursBucket[i], d.TxPerHour[i])
+	}
+}
+
+// Fig4a renders the owners-vs-rest volume comparison.
+func (r *Renderer) Fig4a(res *core.Results) {
+	a := res.Fig4a
+	r.section("Fig 4(a) — wearable owners vs remaining customers")
+	r.printf("data gain                  %+.0f%% (paper: +26%%)\n", a.DataGainPct)
+	r.printf("transaction gain           %+.0f%% (paper: +48%%)\n", a.TxGainPct)
+	r.cdf("owner bytes (normalised)", a.OwnerBytes)
+	r.cdf("rest bytes (normalised)", a.RestBytes)
+}
+
+// Fig4b renders the wearable traffic share.
+func (r *Renderer) Fig4b(res *core.Results) {
+	b := res.Fig4b
+	r.section("Fig 4(b) — wearable share of owner traffic")
+	r.printf("median share               %.4f%% (paper: ≈0.1%%)\n", 100*b.MedianShare)
+	r.printf("orders of magnitude below  %.1f (paper: ≈3)\n", b.OrdersOfMagnitude)
+	r.printf("users with ≥3%% share       %.1f%% (paper: ≈10%% at 3%%)\n", 100*b.FracOver3Pct)
+	r.cdf("wearable share", b.ShareCDF)
+}
+
+// Fig4c renders mobility.
+func (r *Renderer) Fig4c(res *core.Results) {
+	m := res.Fig4c
+	r.section("Fig 4(c) — max displacement and location entropy")
+	r.printf("owner mean displacement    %.1f km (paper: ≈20 km)\n", m.OwnerMeanKm)
+	r.printf("owner p90                  %.1f km (paper: ≈30 km)\n", m.OwnerP90Km)
+	r.printf("rest mean displacement     %.1f km (paper ratio ≈2x: 31 vs 16 km)\n", m.RestMeanKm)
+	r.printf("non-stationary means       %.1f vs %.1f km\n", m.NonStationaryOwnerMeanKm, m.NonStationaryRestMeanKm)
+	r.printf("entropy gain               %+.0f%% (paper: +70%%)\n", m.EntropyGainPct)
+	r.printf("single-location users      %.0f%% (paper: 60%%)\n", 100*m.SingleLocationFrac)
+	r.cdf("owner displacement (km)", m.OwnerDisplacement)
+	r.cdf("rest displacement (km)", m.RestDisplacement)
+}
+
+// Fig4d renders the mobility coupling.
+func (r *Renderer) Fig4d(res *core.Results) {
+	d := res.Fig4d
+	r.section("Fig 4(d) — displacement vs hourly activity")
+	r.printf("Spearman correlation       %.2f (paper: positive)\n", d.Spearman)
+	r.printf("displacement(km)   mean tx/hour\n")
+	for i := range d.DisplacementBucketKm {
+		r.printf("%16.0f   %12.2f\n", d.DisplacementBucketKm[i], d.TxPerHour[i])
+	}
+}
+
+func (r *Renderer) rows(n int) int {
+	if r.MaxRows > 0 && n > r.MaxRows {
+		return r.MaxRows
+	}
+	return n
+}
+
+// Fig5a renders app popularity.
+func (r *Renderer) Fig5a(res *core.Results) {
+	r.section("Fig 5(a) — app popularity (percent of daily total)")
+	r.printf("%-18s %12s %12s\n", "app", "users%", "used-days%")
+	for _, row := range res.Fig5a[:r.rows(len(res.Fig5a))] {
+		r.printf("%-18s %12.3f %12.3f\n", row.App, row.DailyUsersSharePct, row.UsedDaysSharePct)
+	}
+}
+
+// Fig5b renders per-app usage/transactions/data.
+func (r *Renderer) Fig5b(res *core.Results) {
+	r.section("Fig 5(b) — app usage, transactions and data (percent of daily total)")
+	r.printf("%-18s %10s %10s %10s\n", "app", "freq%", "tx%", "data%")
+	for _, row := range res.Fig5b[:r.rows(len(res.Fig5b))] {
+		r.printf("%-18s %10.3f %10.3f %10.3f\n", row.App, row.FreqSharePct, row.TxSharePct, row.DataSharePct)
+	}
+}
+
+// Fig6 renders category shares.
+func (r *Renderer) Fig6(res *core.Results) {
+	r.section("Fig 6 — category shares (percent of daily total)")
+	r.printf("%-18s %9s %9s %9s %9s\n", "category", "users%", "freq%", "tx%", "data%")
+	for _, row := range res.Fig6 {
+		r.printf("%-18s %9.2f %9.2f %9.2f %9.2f\n",
+			string(row.Category), row.UsersSharePct, row.FreqSharePct, row.TxSharePct, row.DataSharePct)
+	}
+}
+
+// Fig7 renders per-usage intensity.
+func (r *Renderer) Fig7(res *core.Results) {
+	r.section("Fig 7 — transactions and data per single usage")
+	r.printf("%-18s %12s %12s %8s\n", "app", "tx/usage", "KB/usage", "usages")
+	for _, row := range res.Fig7[:r.rows(len(res.Fig7))] {
+		r.printf("%-18s %12.1f %12.1f %8d\n", row.App, row.TxPerUsage, row.KBPerUsage, row.UsageSamples)
+	}
+}
+
+// Fig8 renders the transaction-category split.
+func (r *Renderer) Fig8(res *core.Results) {
+	r.section("Fig 8 — applications and third-party services (percent of daily total)")
+	r.printf("%-14s %9s %9s %9s\n", "kind", "users%", "freq%", "data%")
+	for _, row := range res.Fig8 {
+		r.printf("%-14s %9.2f %9.2f %9.2f\n",
+			row.Kind.String(), row.UsersSharePct, row.FreqSharePct, row.DataSharePct)
+	}
+	third := res.Fig8[apps.KindUtilities].DataSharePct +
+		res.Fig8[apps.KindAdvertising].DataSharePct +
+		res.Fig8[apps.KindAnalytics].DataSharePct
+	r.printf("first:third party data ratio  %.1f:1 (paper: same order of magnitude)\n",
+		safeDiv(res.Fig8[apps.KindApplication].DataSharePct, third))
+	if res.PlanCost.PlanMB > 0 {
+		r.printf("ads+analytics overhead        %.0f%% of traffic; %.2f%% of a %.0f MB plan/month (max %.2f%%)\n",
+			100*res.PlanCost.MeanOverheadShare, res.PlanCost.MeanPlanSharePct,
+			res.PlanCost.PlanMB, res.PlanCost.MaxPlanSharePct)
+	}
+}
+
+// Weekly renders the §4.2 weekly stability analysis.
+func (r *Renderer) Weekly(res *core.Results) {
+	w := res.Weekly
+	if len(w.Weeks) == 0 {
+		return
+	}
+	r.section("§4.2 — weekly stability (no clear weekly pattern)")
+	r.printf("daily tx CV                %.2f (paper: metrics almost constant)\n", w.TxCV)
+	r.printf("day-of-week tx shares      ")
+	for _, share := range w.DayOfWeekTxShare {
+		r.printf("%.3f ", share)
+	}
+	r.printf(" (flat ≈ %.3f)\n", 1.0/7)
+	r.printf("week    users       tx        MB\n")
+	for _, row := range w.Weeks {
+		r.printf("%4d  %7d  %7d  %8.1f\n", row.Week, row.ActiveUsers, row.Tx, float64(row.Bytes)/1e6)
+	}
+}
+
+// Takeaways renders the §4.3 numbers.
+func (r *Renderer) Takeaways(res *core.Results) {
+	t := res.Takeaways
+	r.section("Takeaways — apps per user")
+	r.printf("mean apps observed/user    %.1f (paper: 8 installed)\n", t.MeanAppsPerUser)
+	r.printf("users with < 20 apps       %.0f%% (paper: 90%%)\n", 100*t.FracUnder20Apps)
+	r.printf("max apps one user          %d (paper: >100 installed)\n", t.MaxAppsPerUser)
+	r.printf("one-app days               %.0f%% (paper: 93%%)\n", 100*t.OneAppDayFrac)
+}
+
+// ThroughDevice renders the fingerprinting results.
+func (r *Renderer) ThroughDevice(res *core.Results) {
+	td := res.TD
+	r.section("Conclusion — Through-Device wearable fingerprinting")
+	r.printf("identified users           %d\n", td.Identified)
+	for svc, n := range td.ByService {
+		r.printf("  %-24s %d\n", svc, n)
+	}
+	r.printf("mean displacement TD/SIM   %.1f / %.1f km (paper: similar)\n", td.MeanDispTDKm, td.MeanDispSIMKm)
+	r.printf("mean phone year TD/other   %.1f / %.1f (paper: TD phones more modern)\n",
+		td.MeanPhoneYearTD, td.MeanPhoneYearOther)
+	r.printf("hourly pattern similarity  %.2f (paper: similar macroscopic behavior)\n",
+		td.PatternSimilarity)
+}
+
+// histogram prints an ASCII bar chart of a binned distribution.
+func (r *Renderer) histogram(name string, bins []core.HistBin) {
+	if len(bins) == 0 {
+		return
+	}
+	var max float64
+	for _, b := range bins {
+		if b.Share > max {
+			max = b.Share
+		}
+	}
+	if max == 0 {
+		return
+	}
+	r.printf("  %s:\n", name)
+	for _, b := range bins {
+		if b.Share == 0 {
+			continue
+		}
+		width := int(b.Share / max * 40)
+		r.printf("    %9s-%-9s %5.1f%% %s\n",
+			compact(b.Lo), compact(b.Hi), 100*b.Share, strings.Repeat("#", width))
+	}
+}
+
+// cdf prints a compact quantile table of a series.
+func (r *Renderer) cdf(name string, s core.Series) {
+	if len(s.X) == 0 {
+		return
+	}
+	r.printf("  %-24s", name+":")
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		r.printf("  p%02.0f=%s", q*100, compact(quantileOf(s, q)))
+	}
+	r.printf("\n")
+}
+
+// quantileOf reads a quantile off an exported CDF series.
+func quantileOf(s core.Series, q float64) float64 {
+	for i, p := range s.P {
+		if p >= q {
+			return s.X[i]
+		}
+	}
+	if n := len(s.X); n > 0 {
+		return s.X[n-1]
+	}
+	return 0
+}
+
+// sparkline draws a one-line chart of a series.
+func (r *Renderer) sparkline(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	min, max := v[0], v[0]
+	for _, x := range v {
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	span := max - min
+	var sb strings.Builder
+	step := 1
+	if len(v) > 80 {
+		step = len(v) / 80
+	}
+	for i := 0; i < len(v); i += step {
+		idx := 0
+		if span > 0 {
+			idx = int((v[i] - min) / span * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	r.printf("  %s\n", sb.String())
+}
+
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wearwild/internal/core"
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/simtime"
+)
+
+// fakeResults builds a small, fully populated Results tree so renderers
+// can be tested without running the pipeline.
+func fakeResults() *core.Results {
+	res := &core.Results{}
+	days := make([]simtime.Day, 10)
+	for i := range days {
+		days[i] = simtime.Day(i)
+	}
+	res.Fig2a = core.Adoption{
+		Days:             days,
+		Normalized:       []float64{0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97, 0.98, 0.99, 1.0},
+		MonthlyGrowthPct: 1.5,
+		TotalGrowthPct:   9,
+		DataActiveShare:  0.34,
+		WearableUsers:    3000,
+	}
+	res.Fig2b = core.Retention{FirstWeekUsers: 2700, RetainedFrac: 0.77, AbandonedFrac: 0.07, IntermittentFrac: 0.16}
+	for h := 0; h < 24; h++ {
+		res.Fig3a.WeekdayTx[h] = 0.04
+		res.Fig3a.WeekendTx[h] = 0.04
+	}
+	res.Fig3a.DailyActiveShare = 0.35
+	series := core.Series{X: []float64{1, 2, 3, 4, 5}, P: []float64{0.2, 0.4, 0.6, 0.8, 1.0}}
+	res.Fig3b = core.ActivityDistributions{DaysPerWeek: series, HoursPerDay: series, MeanDays: 1.2, MeanHours: 3.1, FracUnder5h: 0.8, FracOver10h: 0.07}
+	res.Fig3c = core.Transactions{SizeCDF: series, MedianSizeBytes: 3000, FracUnder10KB: 0.8, HourlyTxPerUser: series, HourlyKBPerUser: series}
+	res.Fig3d = core.ActivityCoupling{HoursBucket: []float64{1, 2, 3}, TxPerHour: []float64{5, 7, 9}, Spearman: 0.6}
+	res.Fig4a = core.OwnersVsRest{OwnerBytes: series, RestBytes: series, DataGainPct: 26, TxGainPct: 48}
+	res.Fig4b = core.DeviceShare{ShareCDF: series, MedianShare: 0.001, FracOver3Pct: 0.1, OrdersOfMagnitude: 3}
+	res.Fig4c = core.Mobility{OwnerDisplacement: series, RestDisplacement: series, OwnerMeanKm: 20, RestMeanKm: 10, OwnerP90Km: 30, EntropyGainPct: 70, SingleLocationFrac: 0.6, NonStationaryOwnerMeanKm: 22, NonStationaryRestMeanKm: 12}
+	res.Fig4d = core.MobilityCoupling{DisplacementBucketKm: []float64{5, 10}, TxPerHour: []float64{6, 8}, Spearman: 0.3}
+	res.Fig5a = []core.AppPopularity{
+		{App: "Weather", DailyUsersSharePct: 12, UsedDaysSharePct: 11},
+		{App: "Google-Maps", DailyUsersSharePct: 10, UsedDaysSharePct: 10},
+		{App: "Accuweather", DailyUsersSharePct: 9, UsedDaysSharePct: 9},
+	}
+	res.Fig5b = []core.AppUsage{{App: "Weather", FreqSharePct: 12, TxSharePct: 13, DataSharePct: 9}}
+	res.Fig6 = []core.CategoryShare{{Category: apps.Communication, UsersSharePct: 22, FreqSharePct: 20, TxSharePct: 21, DataSharePct: 35}}
+	res.Fig7 = []core.PerUsage{{App: "WhatsApp", TxPerUsage: 10, KBPerUsage: 260, UsageSamples: 500}}
+	res.Fig8[apps.KindApplication] = core.DomainKindShare{Kind: apps.KindApplication, UsersSharePct: 60, FreqSharePct: 62, DataSharePct: 70}
+	res.Fig8[apps.KindAdvertising] = core.DomainKindShare{Kind: apps.KindAdvertising, UsersSharePct: 15, FreqSharePct: 13, DataSharePct: 8}
+	res.Takeaways = core.Takeaways{MeanAppsPerUser: 8, FracUnder20Apps: 0.9, MaxAppsPerUser: 120, OneAppDayFrac: 0.93}
+	res.TD = core.ThroughDevice{Identified: 250, ByService: map[string]int{"Fitbit": 120, "Strava": 60}, MeanDispTDKm: 19, MeanDispSIMKm: 20}
+	return res
+}
+
+func render(t *testing.T, maxRows int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	New(&buf, maxRows).All(fakeResults())
+	return buf.String()
+}
+
+func TestAllSectionsPresent(t *testing.T) {
+	out := render(t, 0)
+	for _, want := range []string{
+		"Fig 2(a)", "Fig 2(b)", "Fig 3(a)", "Fig 3(b)", "Fig 3(c)", "Fig 3(d)",
+		"Fig 4(a)", "Fig 4(b)", "Fig 4(c)", "Fig 4(d)",
+		"Fig 5(a)", "Fig 5(b)", "Fig 6", "Fig 7", "Fig 8",
+		"Takeaways", "Through-Device",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing section %q", want)
+		}
+	}
+}
+
+func TestKeyNumbersRendered(t *testing.T) {
+	out := render(t, 0)
+	for _, want := range []string{
+		"+9.0% total",      // Fig2a growth
+		"34% (paper: 34%)", // data-active share
+		"77% (paper: 77%)", // retention
+		"2.9 KB",           // 3000 B median as KB
+		"+26% (paper: +26%)",
+		"20.0 km",
+		"Weather",
+		"WhatsApp",
+		"Fitbit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestMaxRowsTruncates(t *testing.T) {
+	full := render(t, 0)
+	truncated := render(t, 1)
+	if strings.Contains(truncated, "Accuweather") {
+		t.Fatal("truncation did not drop rows")
+	}
+	if !strings.Contains(full, "Accuweather") {
+		t.Fatal("full output missing rows")
+	}
+}
+
+func TestEmptyResultsDoNotPanic(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, 5).All(&core.Results{})
+	if buf.Len() == 0 {
+		t.Fatal("no output at all")
+	}
+}
+
+func TestCompactFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1.5e9:  "1.5G",
+		2.5e6:  "2.5M",
+		3.2e3:  "3.2k",
+		42:     "42.0",
+		0.0042: "0.0042",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Fatalf("compact(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestQuantileOf(t *testing.T) {
+	s := core.Series{X: []float64{1, 2, 3, 4}, P: []float64{0.25, 0.5, 0.75, 1}}
+	if got := quantileOf(s, 0.5); got != 2 {
+		t.Fatalf("q50 = %g", got)
+	}
+	if got := quantileOf(s, 0.9); got != 4 {
+		t.Fatalf("q90 = %g", got)
+	}
+	if got := quantileOf(core.Series{}, 0.5); got != 0 {
+		t.Fatalf("empty series q = %g", got)
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StreamingQuantile estimates a single quantile online with O(1) memory
+// using the P² algorithm (Jain & Chlamtac, 1985). The study's CDFs are
+// exact (samples fit in memory at reproduction scale), but a production
+// deployment tailing a multi-billion-record proxy log needs constant-space
+// estimation; this is that path, validated against the exact quantiles in
+// tests.
+type StreamingQuantile struct {
+	q       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments per observation
+	initBuf []float64
+}
+
+// NewStreamingQuantile estimates the q-quantile, q in (0, 1).
+func NewStreamingQuantile(q float64) (*StreamingQuantile, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("stats: quantile %g outside (0,1)", q)
+	}
+	s := &StreamingQuantile{q: q}
+	s.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return s, nil
+}
+
+// Add folds one observation into the estimate.
+func (s *StreamingQuantile) Add(x float64) {
+	s.n++
+	if s.n <= 5 {
+		s.initBuf = append(s.initBuf, x)
+		if s.n == 5 {
+			sort.Float64s(s.initBuf)
+			copy(s.heights[:], s.initBuf)
+			for i := range s.pos {
+				s.pos[i] = float64(i + 1)
+			}
+			s.want = [5]float64{1, 1 + 2*s.q, 1 + 4*s.q, 3 + 2*s.q, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and bump marker positions.
+	var k int
+	switch {
+	case x < s.heights[0]:
+		s.heights[0] = x
+		k = 0
+	case x >= s.heights[4]:
+		s.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < s.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := s.parabolic(i, sign)
+			if s.heights[i-1] < h && h < s.heights[i+1] {
+				s.heights[i] = h
+			} else {
+				s.heights[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic prediction.
+func (s *StreamingQuantile) parabolic(i int, d float64) float64 {
+	return s.heights[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.heights[i+1]-s.heights[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.heights[i]-s.heights[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+// linear is the fallback linear prediction.
+func (s *StreamingQuantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.heights[i] + d*(s.heights[j]-s.heights[i])/(s.pos[j]-s.pos[i])
+}
+
+// N returns the number of observations.
+func (s *StreamingQuantile) N() int { return s.n }
+
+// Value returns the current estimate. With fewer than five observations it
+// falls back to the exact small-sample quantile.
+func (s *StreamingQuantile) Value() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if s.n < 5 {
+		buf := append([]float64(nil), s.initBuf...)
+		sort.Float64s(buf)
+		i := int(s.q * float64(len(buf)))
+		if i >= len(buf) {
+			i = len(buf) - 1
+		}
+		return buf[i]
+	}
+	return s.heights[2]
+}

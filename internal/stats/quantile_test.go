@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wearwild/internal/randx"
+)
+
+func TestStreamingQuantileRejects(t *testing.T) {
+	for _, q := range []float64{-0.1, 0, 1, 1.5} {
+		if _, err := NewStreamingQuantile(q); err == nil {
+			t.Fatalf("q=%g accepted", q)
+		}
+	}
+}
+
+func TestStreamingQuantileSmallSamples(t *testing.T) {
+	s, _ := NewStreamingQuantile(0.5)
+	if s.Value() != 0 || s.N() != 0 {
+		t.Fatal("empty estimator not neutral")
+	}
+	s.Add(3)
+	s.Add(1)
+	s.Add(2)
+	if got := s.Value(); got != 2 {
+		t.Fatalf("small-sample median = %g", got)
+	}
+}
+
+func TestStreamingQuantileAgainstExact(t *testing.T) {
+	r := randx.New(5)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		for _, gen := range []struct {
+			name string
+			next func() float64
+		}{
+			{"uniform", func() float64 { return r.Float64() * 100 }},
+			{"lognormal", func() float64 { return r.LogNormalMedian(3000, 1.0) }},
+			{"normal", func() float64 { return r.Normal(50, 10) }},
+		} {
+			s, err := NewStreamingQuantile(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50000
+			sample := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := gen.next()
+				sample[i] = v
+				s.Add(v)
+			}
+			sort.Float64s(sample)
+			exact := sample[int(q*float64(n))]
+			got := s.Value()
+			// P² should land within a few percent of the exact quantile
+			// on smooth distributions.
+			relErr := math.Abs(got-exact) / math.Max(math.Abs(exact), 1e-9)
+			if relErr > 0.08 {
+				t.Fatalf("%s q=%.2f: streaming %.2f vs exact %.2f (rel err %.3f)",
+					gen.name, q, got, exact, relErr)
+			}
+		}
+	}
+}
+
+func TestStreamingQuantileMonotoneInQ(t *testing.T) {
+	r := randx.New(9)
+	qs := []float64{0.25, 0.5, 0.75}
+	ests := make([]*StreamingQuantile, len(qs))
+	for i, q := range qs {
+		ests[i], _ = NewStreamingQuantile(q)
+	}
+	for i := 0; i < 20000; i++ {
+		v := r.ExpFloat64() * 10
+		for _, e := range ests {
+			e.Add(v)
+		}
+	}
+	if !(ests[0].Value() < ests[1].Value() && ests[1].Value() < ests[2].Value()) {
+		t.Fatalf("quantile estimates not ordered: %g %g %g",
+			ests[0].Value(), ests[1].Value(), ests[2].Value())
+	}
+}
+
+// Property: the estimate always lies within the observed range.
+func TestStreamingQuantileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, qSel uint8) bool {
+		vals := tame(raw)
+		if len(vals) == 0 {
+			return true
+		}
+		q := 0.05 + 0.9*float64(qSel)/255
+		s, err := NewStreamingQuantile(q)
+		if err != nil {
+			return false
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			s.Add(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		got := s.Value()
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package fingerprint implements the conclusion's Through-Device wearable
+// detection: identifying smartphone users whose traffic betrays a paired
+// (non-SIM) wearable, either through domains directly attributable to a
+// wearable vendor (Fitbit, Xiaomi) or through wearable-specific endpoints
+// of popular companion apps (AccuWeather, Strava, Runtastic).
+package fingerprint
+
+import (
+	"sort"
+	"strings"
+
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+
+	"wearwild/internal/gen/population"
+)
+
+// Signature is one detectable companion service.
+type Signature struct {
+	Service string
+	Hosts   []string
+}
+
+// DefaultSignatures returns the services the paper fingerprints. The host
+// lists are shared with the traffic generator so the study detects exactly
+// the endpoints real companion apps would hit.
+func DefaultSignatures() []Signature {
+	out := make([]Signature, 0, len(population.TDFingerprintServices))
+	for _, svc := range population.TDFingerprintServices {
+		out = append(out, Signature{
+			Service: svc,
+			Hosts:   append([]string(nil), population.CompanionDomains[svc]...),
+		})
+	}
+	return out
+}
+
+// Detection is one identified Through-Device wearable user.
+type Detection struct {
+	IMSI         subs.IMSI
+	Service      string
+	Transactions int64
+	Bytes        int64
+}
+
+// Detector matches proxy records against companion signatures.
+type Detector struct {
+	hostToService map[string]string
+}
+
+// NewDetector compiles the signature set.
+func NewDetector(sigs []Signature) *Detector {
+	d := &Detector{hostToService: make(map[string]string)}
+	for _, sig := range sigs {
+		for _, h := range sig.Hosts {
+			d.hostToService[strings.ToLower(h)] = sig.Service
+		}
+	}
+	return d
+}
+
+// ServiceOfHost returns the companion service a host belongs to.
+func (d *Detector) ServiceOfHost(host string) (string, bool) {
+	svc, ok := d.hostToService[strings.ToLower(host)]
+	return svc, ok
+}
+
+// Detect scans proxy records for companion traffic, skipping subscribers
+// rejected by keepUser (nil keeps everyone; callers exclude SIM-wearable
+// users, who are identified directly by TAC). One user matching several
+// services keeps the service with the most transactions.
+func (d *Detector) Detect(records []proxylog.Record, keepUser func(subs.IMSI) bool) []Detection {
+	type acc struct {
+		tx    map[string]int64
+		bytes map[string]int64
+	}
+	perUser := make(map[subs.IMSI]*acc)
+	for _, rec := range records {
+		svc, ok := d.ServiceOfHost(rec.Host)
+		if !ok {
+			continue
+		}
+		if keepUser != nil && !keepUser(rec.IMSI) {
+			continue
+		}
+		a := perUser[rec.IMSI]
+		if a == nil {
+			a = &acc{tx: make(map[string]int64), bytes: make(map[string]int64)}
+			perUser[rec.IMSI] = a
+		}
+		a.tx[svc]++
+		a.bytes[svc] += rec.Bytes()
+	}
+
+	out := make([]Detection, 0, len(perUser))
+	for user, a := range perUser {
+		best := ""
+		for svc := range a.tx {
+			if best == "" || a.tx[svc] > a.tx[best] || (a.tx[svc] == a.tx[best] && svc < best) {
+				best = svc
+			}
+		}
+		out = append(out, Detection{
+			IMSI:         user,
+			Service:      best,
+			Transactions: a.tx[best],
+			Bytes:        a.bytes[best],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IMSI < out[j].IMSI })
+	return out
+}
+
+// ByService groups detections per service.
+func ByService(dets []Detection) map[string]int {
+	out := make(map[string]int)
+	for _, d := range dets {
+		out[d.Service]++
+	}
+	return out
+}

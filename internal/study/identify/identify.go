@@ -1,0 +1,125 @@
+// Package identify implements the paper's §3.2: finding SIM-enabled
+// wearables by joining the IMEIs observed at the vantage points against
+// the device database's wearable TAC list, then classifying subscribers.
+package identify
+
+import (
+	"sort"
+
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/mnet/udr"
+)
+
+// Index is the result of identification: which subscribers carry a
+// SIM-enabled wearable, and every device observed per subscriber.
+type Index struct {
+	devices  map[subs.IMSI]map[imei.IMEI]*devicedb.Model
+	wearable map[subs.IMSI]imei.IMEI
+}
+
+// Build scans the three logs. Any of them may be empty.
+func Build(db *devicedb.DB, mmeLog *mme.Log, proxy *proxylog.Log, usage *udr.Log) *Index {
+	ix := &Index{
+		devices:  make(map[subs.IMSI]map[imei.IMEI]*devicedb.Model),
+		wearable: make(map[subs.IMSI]imei.IMEI),
+	}
+	if mmeLog != nil {
+		for _, r := range mmeLog.Records {
+			ix.observe(db, r.IMSI, r.IMEI)
+		}
+	}
+	if proxy != nil {
+		for _, r := range proxy.Records {
+			ix.observe(db, r.IMSI, r.IMEI)
+		}
+	}
+	if usage != nil {
+		for _, r := range usage.Records {
+			ix.observe(db, r.IMSI, r.IMEI)
+		}
+	}
+	return ix
+}
+
+func (ix *Index) observe(db *devicedb.DB, user subs.IMSI, dev imei.IMEI) {
+	if user == 0 || dev == 0 {
+		return
+	}
+	m, known := db.Lookup(dev)
+	if ix.devices[user] == nil {
+		ix.devices[user] = make(map[imei.IMEI]*devicedb.Model, 2)
+	}
+	if _, seen := ix.devices[user][dev]; !seen {
+		ix.devices[user][dev] = m // nil for unknown TACs: still a device
+	}
+	if known && m.Class == devicedb.WearableSIM {
+		ix.wearable[user] = dev
+	}
+}
+
+// IsWearableUser reports whether the subscriber was seen with a
+// SIM-enabled wearable.
+func (ix *Index) IsWearableUser(user subs.IMSI) bool {
+	_, ok := ix.wearable[user]
+	return ok
+}
+
+// WearableIMEI returns the subscriber's wearable device, if any.
+func (ix *Index) WearableIMEI(user subs.IMSI) (imei.IMEI, bool) {
+	dev, ok := ix.wearable[user]
+	return dev, ok
+}
+
+// WearableUsers returns all wearable-carrying subscribers, sorted.
+func (ix *Index) WearableUsers() []subs.IMSI {
+	out := make([]subs.IMSI, 0, len(ix.wearable))
+	for u := range ix.wearable {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OrdinaryUsers returns all subscribers never seen with a wearable,
+// sorted: the paper's "remaining customers of the ISP".
+func (ix *Index) OrdinaryUsers() []subs.IMSI {
+	out := make([]subs.IMSI, 0, len(ix.devices))
+	for u := range ix.devices {
+		if !ix.IsWearableUser(u) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Users returns every observed subscriber, sorted.
+func (ix *Index) Users() []subs.IMSI {
+	out := make([]subs.IMSI, 0, len(ix.devices))
+	for u := range ix.devices {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Devices returns the devices observed for a subscriber.
+func (ix *Index) Devices(user subs.IMSI) []imei.IMEI {
+	m := ix.devices[user]
+	out := make([]imei.IMEI, 0, len(m))
+	for dev := range m {
+		out = append(out, dev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumWearableUsers returns the wearable-user count.
+func (ix *Index) NumWearableUsers() int { return len(ix.wearable) }
+
+// NumUsers returns the total observed subscriber count.
+func (ix *Index) NumUsers() int { return len(ix.devices) }

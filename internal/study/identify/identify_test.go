@@ -1,0 +1,103 @@
+package identify
+
+import (
+	"testing"
+	"time"
+
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/mnet/udr"
+)
+
+func testDB(t *testing.T) *devicedb.DB {
+	t.Helper()
+	db := devicedb.New()
+	for _, m := range []devicedb.Model{
+		{Name: "Watch", Vendor: "V", OS: "Tizen", Class: devicedb.WearableSIM, TACs: []imei.TAC{11111111}},
+		{Name: "Phone", Vendor: "V", OS: "Android", Class: devicedb.Smartphone, TACs: []imei.TAC{22222222}},
+	} {
+		if err := db.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestBuildAcrossLogs(t *testing.T) {
+	db := testDB(t)
+	watch := imei.MustNew(11111111, 1)
+	phone := imei.MustNew(22222222, 1)
+	phone2 := imei.MustNew(22222222, 2)
+	unknown := imei.MustNew(33333333, 1)
+	alice, bob, carol := subs.MustNew(1), subs.MustNew(2), subs.MustNew(3)
+	t0 := time.Date(2018, 3, 1, 8, 0, 0, 0, time.UTC)
+
+	mmeLog := &mme.Log{Records: []mme.Record{
+		{Time: t0, IMSI: alice, IMEI: watch, Sector: 1, Event: mme.Attach},
+		{Time: t0, IMSI: bob, IMEI: phone, Sector: 2, Event: mme.Attach},
+	}}
+	proxy := &proxylog.Log{Records: []proxylog.Record{
+		{Time: t0, IMSI: alice, IMEI: phone2, Scheme: proxylog.HTTPS, Host: "x.example", BytesUp: 1, BytesDown: 1},
+	}}
+	usage := &udr.Log{Records: []udr.Record{
+		{Week: 0, IMSI: carol, IMEI: unknown, Bytes: 10, Transactions: 1},
+	}}
+
+	ix := Build(db, mmeLog, proxy, usage)
+	if !ix.IsWearableUser(alice) {
+		t.Fatal("alice not identified as wearable user")
+	}
+	if ix.IsWearableUser(bob) || ix.IsWearableUser(carol) {
+		t.Fatal("non-wearable user misidentified")
+	}
+	if dev, ok := ix.WearableIMEI(alice); !ok || dev != watch {
+		t.Fatalf("alice wearable = %v, %v", dev, ok)
+	}
+	if got := ix.NumWearableUsers(); got != 1 {
+		t.Fatalf("wearable users = %d", got)
+	}
+	if got := ix.NumUsers(); got != 3 {
+		t.Fatalf("users = %d", got)
+	}
+	// Alice carries two devices (watch from MME, phone from proxy).
+	if got := len(ix.Devices(alice)); got != 2 {
+		t.Fatalf("alice devices = %d", got)
+	}
+	// Unknown-TAC devices still count as devices.
+	if got := len(ix.Devices(carol)); got != 1 {
+		t.Fatalf("carol devices = %d", got)
+	}
+
+	wu := ix.WearableUsers()
+	if len(wu) != 1 || wu[0] != alice {
+		t.Fatalf("wearable users = %v", wu)
+	}
+	ou := ix.OrdinaryUsers()
+	if len(ou) != 2 || ou[0] != bob || ou[1] != carol {
+		t.Fatalf("ordinary users = %v", ou)
+	}
+	all := ix.Users()
+	if len(all) != 3 || all[0] != alice {
+		t.Fatalf("all users = %v", all)
+	}
+}
+
+func TestBuildHandlesNilAndZero(t *testing.T) {
+	db := testDB(t)
+	ix := Build(db, nil, nil, nil)
+	if ix.NumUsers() != 0 {
+		t.Fatal("empty build not empty")
+	}
+	// Zero identities are skipped.
+	proxy := &proxylog.Log{Records: []proxylog.Record{
+		{IMSI: 0, IMEI: imei.MustNew(11111111, 5), Host: "x", Scheme: proxylog.HTTPS},
+		{IMSI: subs.MustNew(9), IMEI: 0, Host: "x", Scheme: proxylog.HTTPS},
+	}}
+	ix = Build(db, nil, proxy, nil)
+	if ix.NumUsers() != 0 {
+		t.Fatalf("zero identities counted: %d users", ix.NumUsers())
+	}
+}

@@ -1,0 +1,174 @@
+package mobmetrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wearwild/internal/geo"
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/imei"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/randx"
+	"wearwild/internal/simtime"
+)
+
+var (
+	alice = subs.MustNew(1)
+	bob   = subs.MustNew(2)
+	watch = imei.MustNew(35332011, 1)
+	phone = imei.MustNew(35733009, 1)
+)
+
+func buildTopo(t testing.TB) *cells.Topology {
+	t.Helper()
+	topo, err := cells.Build(geo.DefaultCountry(), cells.Config{UrbanSectors: 200, RuralSectors: 100}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func at(day simtime.Day, hour int) time.Time {
+	return day.Time().Add(time.Duration(hour) * time.Hour)
+}
+
+func mrec(user subs.IMSI, dev imei.IMEI, t time.Time, sector cells.SectorID) mme.Record {
+	ev := mme.Update
+	return mme.Record{Time: t, IMSI: user, IMEI: dev, Sector: sector, Event: ev}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestCollectDisplacementAndEntropy(t *testing.T) {
+	topo := buildTopo(t)
+	a, err := New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := simtime.Day(110)
+	records := []mme.Record{
+		mrec(alice, watch, at(d, 0), 1),
+		mrec(alice, watch, at(d, 8), 2),
+		mrec(alice, watch, at(d, 18), 1),
+		// A second day with no movement.
+		mrec(alice, watch, at(d+1, 0), 1),
+		// Bob never moves.
+		mrec(bob, phone, at(d, 0), 5),
+	}
+	mob := a.Collect(records, simtime.Detail(), nil)
+
+	am := mob[alice]
+	if am == nil {
+		t.Fatal("alice missing")
+	}
+	want := topo.DistanceKm(1, 2)
+	if math.Abs(am.DailyMaxKm[d]-want) > 1e-9 {
+		t.Fatalf("day disp = %g, want %g", am.DailyMaxKm[d], want)
+	}
+	if am.DailyMaxKm[d+1] != 0 {
+		t.Fatalf("stationary day disp = %g", am.DailyMaxKm[d+1])
+	}
+	if am.Stationary() {
+		t.Fatal("alice reported stationary")
+	}
+	if am.Sectors != 2 {
+		t.Fatalf("sectors = %d", am.Sectors)
+	}
+	// Dwell: sector1 8h + 6h + 24h = 38h, sector2 10h. Entropy strictly
+	// between 0 and 1 bit, below uniform.
+	if am.Entropy <= 0 || am.Entropy >= 1 {
+		t.Fatalf("entropy = %g", am.Entropy)
+	}
+	meanDisp := am.MeanDailyMaxKm()
+	if math.Abs(meanDisp-want/2) > 1e-9 {
+		t.Fatalf("mean disp = %g", meanDisp)
+	}
+
+	bm := mob[bob]
+	if !bm.Stationary() || bm.Entropy != 0 || bm.Sectors != 1 {
+		t.Fatalf("bob = %+v", bm)
+	}
+}
+
+func TestCollectWindowAndFilter(t *testing.T) {
+	topo := buildTopo(t)
+	a, _ := New(topo)
+	records := []mme.Record{
+		mrec(alice, watch, at(10, 8), 1), // outside detail window
+		mrec(alice, phone, at(110, 8), 2),
+		mrec(alice, watch, at(110, 9), 3),
+	}
+	mob := a.Collect(records, simtime.Detail(), func(r mme.Record) bool { return r.IMEI == watch })
+	am := mob[alice]
+	if am == nil || am.Sectors != 1 {
+		t.Fatalf("filtered mobility = %+v", am)
+	}
+	if _, ok := am.DailyMaxKm[10]; ok {
+		t.Fatal("out-of-window day included")
+	}
+}
+
+func TestEmptyMobility(t *testing.T) {
+	m := &Mobility{IMSI: alice}
+	if m.MeanDailyMaxKm() != 0 || !m.Stationary() {
+		t.Fatal("empty mobility accessors wrong")
+	}
+}
+
+func TestTxSectors(t *testing.T) {
+	d := simtime.Day(110)
+	mmeRecs := []mme.Record{
+		mrec(alice, watch, at(d, 7), 1),
+		mrec(alice, watch, at(d, 12), 2),
+		// Previous-day context must not leak into the next day.
+		mrec(bob, phone, at(d, 23), 7),
+	}
+	tx := func(user subs.IMSI, t time.Time) proxylog.Record {
+		return proxylog.Record{Time: t, IMSI: user, IMEI: watch, Scheme: proxylog.HTTPS,
+			Host: "h.example", BytesUp: 1, BytesDown: 1}
+	}
+	proxyRecs := []proxylog.Record{
+		tx(alice, at(d, 8)),            // sector 1
+		tx(alice, at(d, 13)),           // sector 2
+		tx(alice, at(d, 14)),           // sector 2
+		tx(alice, at(d, 6)),            // before any context: dropped
+		tx(bob, at(d+1, 5)),            // stale cross-day context: dropped
+		tx(subs.MustNew(99), at(d, 9)), // no MME at all: dropped
+	}
+	got := TxSectors(mmeRecs, proxyRecs, nil, nil)
+	am := got[alice]
+	if am[1] != 1 || am[2] != 2 {
+		t.Fatalf("alice tx sectors = %v", am)
+	}
+	if len(got[bob]) != 0 {
+		t.Fatalf("bob tx sectors = %v", got[bob])
+	}
+	if _, ok := got[subs.MustNew(99)]; ok {
+		t.Fatal("contextless user present")
+	}
+}
+
+func TestTxSectorsFilters(t *testing.T) {
+	d := simtime.Day(110)
+	mmeRecs := []mme.Record{
+		mrec(alice, watch, at(d, 7), 1),
+		mrec(alice, phone, at(d, 9), 2),
+	}
+	proxyRecs := []proxylog.Record{
+		{Time: at(d, 10), IMSI: alice, IMEI: watch, Scheme: proxylog.HTTPS, Host: "h", BytesUp: 1, BytesDown: 1},
+		{Time: at(d, 10), IMSI: alice, IMEI: phone, Scheme: proxylog.HTTPS, Host: "h", BytesUp: 1, BytesDown: 1},
+	}
+	got := TxSectors(mmeRecs, proxyRecs,
+		func(r mme.Record) bool { return r.IMEI == watch },
+		func(r proxylog.Record) bool { return r.IMEI == watch })
+	if got[alice][1] != 1 || len(got[alice]) != 1 {
+		t.Fatalf("filtered join = %v", got[alice])
+	}
+}
