@@ -1,0 +1,26 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# steps. `make check` is the pre-push gate.
+
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# wearlint walks the module and reports determinism/concurrency
+# violations; see DESIGN.md "Determinism invariants".
+lint:
+	$(GO) run ./cmd/wearlint ./...
+
+# Run the native fuzz targets over their seed corpus only (no mutation).
+fuzz-smoke:
+	$(GO) test -run='^Fuzz' ./internal/mnet/...
+
+check: build lint race fuzz-smoke

@@ -1,0 +1,113 @@
+// Command wearlint runs wearwild's determinism and concurrency checks
+// over the module. It is the CI lint gate and the fast local loop:
+//
+//	go run ./cmd/wearlint ./...
+//	go run ./cmd/wearlint ./internal/core
+//
+// Diagnostics print as file:line:col: check: message and a non-zero exit
+// reports findings. Suppress a finding with a justified comment:
+//
+//	//wearlint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wearwild/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "wearlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	diags, err := mod.Run()
+	if err != nil {
+		return err
+	}
+	diags = filterArgs(diags, root, args)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wearlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// filterArgs restricts diagnostics to the requested package directories.
+// "./..." (and no arguments) selects everything.
+func filterArgs(diags []analysis.Diagnostic, root string, args []string) []analysis.Diagnostic {
+	var prefixes []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return diags
+		}
+		dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(arg, "./")))
+		prefixes = append(prefixes, strings.TrimSuffix(dir, string(filepath.Separator)))
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		for _, dir := range prefixes {
+			if strings.HasPrefix(d.Pos.Filename, dir+string(filepath.Separator)) || filepath.Dir(d.Pos.Filename) == dir {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}
+
+// findModuleRoot walks up from the working directory to the directory
+// containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

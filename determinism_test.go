@@ -1,0 +1,56 @@
+package wearwild
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestByteIdenticalRuns is the determinism regression gate: the whole
+// pipeline — generate, study, render, evaluate — executed twice in the
+// same process from the same seed must produce byte-identical text.
+// Go randomises map iteration order per map instance, so any emitting
+// map-range that slipped past the wearlint maporder check (or any
+// float reduction folded in map order) shows up here as a diff between
+// two otherwise identical runs.
+func TestByteIdenticalRuns(t *testing.T) {
+	render := func() []byte {
+		ds, err := Generate(SmallConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunStudy(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		Render(&out, res, 0)
+		if err := WriteExperimentsMarkdown(&out, Evaluate(res)); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatal(firstDiff(first, second))
+	}
+}
+
+// firstDiff renders a small, positioned report of where two outputs
+// diverge, so a determinism failure names the figure at fault.
+func firstDiff(a, b []byte) string {
+	al := bytes.Split(a, []byte("\n"))
+	bl := bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("outputs diverge at line %d:\n  run 1: %s\n  run 2: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("outputs diverge in length: %d vs %d lines", len(al), len(bl))
+}

@@ -1,0 +1,185 @@
+// Package analysis is wearwild's hand-rolled static-analysis framework:
+// a small analyzer harness built directly on the standard library's
+// go/ast, go/parser, go/token and go/types (no golang.org/x/tools
+// dependency) plus the repo-specific checks that keep the synthetic ISP
+// pipeline deterministic and its concurrency honest.
+//
+// The pipeline's whole value is that EXPERIMENTS.md pins target moments
+// and the figures in internal/core are byte-identical run to run. Nothing
+// in the language stops a contributor from calling time.Now in sim code,
+// sampling the global math/rand stream, or ranging over a map while
+// emitting figure rows — so these invariants are machine-checked here and
+// enforced by a tier-1 self-lint test (selflint_test.go) and by
+// cmd/wearlint in CI.
+//
+// A diagnostic can be suppressed with a comment on the same line or the
+// line directly above:
+//
+//	//wearlint:ignore <check> <reason>
+//
+// The reason is mandatory; a bare ignore is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one check: a name for diagnostics and ignore comments, a
+// one-line description, and the function that inspects a type-checked
+// package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one lint unit (a package, with its in-package test files) to
+// an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Rel is the module-relative package directory ("internal/core",
+	// "cmd/wearsim", "" for the module root package).
+	Rel   string
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+	// Writer is the io.Writer interface type, for implements checks.
+	// Nil when the io package could not be loaded.
+	Writer *types.Interface
+
+	diags *[]Diagnostic
+	check string
+}
+
+// Reportf records a diagnostic for the current analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.check,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ObjectOf resolves an identifier to its object (use or definition).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// TypeOf returns the type of an expression, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// calleeFunc resolves a call expression to the package-level function or
+// method it invokes, or nil.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// DefaultAnalyzers returns every check, in stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		WalltimeAnalyzer,
+		GlobalrandAnalyzer,
+		MaporderAnalyzer,
+		WaitgroupAnalyzer,
+		ClosecheckAnalyzer,
+	}
+}
+
+// Run type-checks every unit of the module and applies the analyzers,
+// returning suppressed-filtered diagnostics sorted by position. Type-check
+// failures are returned as error so a broken load never masquerades as a
+// clean lint.
+func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	if len(analyzers) == 0 {
+		analyzers = DefaultAnalyzers()
+	}
+	var diags []Diagnostic
+	var typeErrs []string
+	for _, u := range m.Units {
+		pass, errs := m.typecheck(u)
+		for _, err := range errs {
+			typeErrs = append(typeErrs, fmt.Sprintf("%s: %v", u.Rel, err))
+		}
+		pass.diags = &diags
+		ign := collectIgnores(m.Fset, u.Files, &diags)
+		before := len(diags)
+		for _, a := range analyzers {
+			pass.check = a.Name
+			a.Run(pass)
+		}
+		diags = ign.filter(diags, before)
+	}
+	if len(typeErrs) > 0 {
+		n := len(typeErrs)
+		if n > 10 {
+			typeErrs = typeErrs[:10]
+		}
+		return diags, fmt.Errorf("type-checking failed (%d errors):\n  %s", n, strings.Join(typeErrs, "\n  "))
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// matchRel reports whether a module-relative package path matches a
+// pattern list. A trailing "/..." matches the prefix and everything
+// under it; otherwise the match is exact.
+func matchRel(rel string, patterns []string) bool {
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == root || strings.HasPrefix(rel, root+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}

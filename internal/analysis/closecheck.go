@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClosecheckAnalyzer guards the write paths: a dropped error from Close
+// or Flush on something that implements io.Writer (bufio.Writer,
+// gzip.Writer, os.File, ...) silently truncates proxylog, report and
+// dataset output. The check fires only inside functions that return an
+// error themselves — there the caller could have propagated it — and only
+// for plain or deferred calls; `_ = w.Close()` is an explicit,
+// greppable acknowledgment and passes.
+//
+// Two receiver classes are exempt because their close errors carry no
+// data-loss signal: files opened read-only with os.Open in the same
+// function, and network transports (anything with a RemoteAddr method),
+// whose teardown errors after a completed exchange are expected noise —
+// actual byte loss there already surfaces as read/write errors.
+var ClosecheckAnalyzer = &Analyzer{
+	Name: "closecheck",
+	Doc:  "ignored error from Close/Flush on an io.Writer in a function that returns error",
+	Run:  runClosecheck,
+}
+
+func runClosecheck(p *Pass) {
+	if p.Writer == nil {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && funcTypeReturnsError(p, n.Type) {
+					checkBody(p, n.Body)
+				}
+			case *ast.FuncLit:
+				if funcTypeReturnsError(p, n.Type) {
+					checkBody(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkBody flags dropped Close/Flush errors in one function body,
+// leaving nested function literals to their own visit.
+func checkBody(p *Pass, body *ast.BlockStmt) {
+	readOnly := openedReadOnly(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush") {
+			return true
+		}
+		fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !resultsContainError(sig.Results()) {
+			return true
+		}
+		recvType := p.TypeOf(sel.X)
+		if recvType == nil || !implementsWriter(p, recvType) {
+			return true
+		}
+		if readOnly[types.ExprString(sel.X)] || isTransport(recvType) {
+			return true
+		}
+		p.Reportf(call.Pos(), "error from %s.%s is dropped on a writer path; check it or assign to _ to acknowledge", types.ExprString(sel.X), sel.Sel.Name)
+		return true
+	})
+}
+
+// openedReadOnly collects the names bound to os.Open results in this
+// body: their Close errors cannot signal lost writes.
+func openedReadOnly(p *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || fn.Name() != "Open" {
+			return true
+		}
+		out[types.ExprString(as.Lhs[0])] = true
+		return true
+	})
+	return out
+}
+
+// isTransport reports whether the type looks like a network connection.
+func isTransport(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "RemoteAddr")
+	if obj == nil {
+		obj, _, _ = types.LookupFieldOrMethod(types.NewPointer(t), true, nil, "RemoteAddr")
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// funcTypeReturnsError reports whether the declared results include an
+// error.
+func funcTypeReturnsError(p *Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		if t := p.TypeOf(field.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func resultsContainError(results *types.Tuple) bool {
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func implementsWriter(p *Pass, t types.Type) bool {
+	return types.Implements(t, p.Writer) || types.Implements(types.NewPointer(t), p.Writer)
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture tests are the golden-diagnostic suite: each check has a
+// package under testdata/ whose source marks every expected finding with
+// a trailing "// want <check>" comment. The harness runs one analyzer
+// over the fixture and demands an exact match — every marked line must
+// produce a diagnostic of that check, and no unmarked line may.
+
+const wantMarker = "// want "
+
+// expectations scans a fixture directory for want markers, keyed by
+// (file base name, line).
+func expectations(t *testing.T, dir string) map[string]map[int][]string {
+	t.Helper()
+	out := map[string]map[int][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, wantMarker)
+			if !ok {
+				continue
+			}
+			checks := strings.Fields(rest)
+			if len(checks) == 0 {
+				t.Fatalf("%s:%d: empty want marker", e.Name(), i+1)
+			}
+			byLine := out[e.Name()]
+			if byLine == nil {
+				byLine = map[int][]string{}
+				out[e.Name()] = byLine
+			}
+			byLine[i+1] = append(byLine[i+1], checks...)
+		}
+	}
+	return out
+}
+
+// runFixture loads one testdata package at the given module-relative
+// path and runs the analyzers over it.
+func runFixture(t *testing.T, dir, rel string, as ...*Analyzer) []Diagnostic {
+	t.Helper()
+	m, err := LoadDir(filepath.Join("testdata", dir), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := m.Run(as...)
+	if err != nil {
+		t.Fatalf("fixture %s failed to type-check: %v", dir, err)
+	}
+	return diags
+}
+
+// checkFixture asserts the analyzer's diagnostics over testdata/<dir>
+// match the want markers exactly, with sane positions and non-empty
+// messages.
+func checkFixture(t *testing.T, dir, rel string, a *Analyzer) {
+	t.Helper()
+	diags := runFixture(t, dir, rel, a)
+	want := expectations(t, filepath.Join("testdata", dir))
+
+	got := map[string]map[int][]string{}
+	for _, d := range diags {
+		if d.Check == "" || d.Message == "" {
+			t.Errorf("diagnostic with empty check or message: %+v", d)
+		}
+		if d.Pos.Line <= 0 || d.Pos.Column <= 0 {
+			t.Errorf("diagnostic without a real position: %s", d)
+		}
+		base := filepath.Base(d.Pos.Filename)
+		byLine := got[base]
+		if byLine == nil {
+			byLine = map[int][]string{}
+			got[base] = byLine
+		}
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d.Check)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	keys := map[key]bool{}
+	for f, byLine := range want {
+		for l := range byLine {
+			keys[key{f, l}] = true
+		}
+	}
+	for f, byLine := range got {
+		for l := range byLine {
+			keys[key{f, l}] = true
+		}
+	}
+	for k := range keys {
+		w := append([]string(nil), want[k.file][k.line]...)
+		g := append([]string(nil), got[k.file][k.line]...)
+		sort.Strings(w)
+		sort.Strings(g)
+		if strings.Join(w, ",") != strings.Join(g, ",") {
+			t.Errorf("%s:%d: want checks [%s], got [%s]", k.file, k.line,
+				strings.Join(w, " "), strings.Join(g, " "))
+		}
+	}
+}
+
+func TestWalltimeFixture(t *testing.T) {
+	checkFixture(t, "walltime", "internal/gen/fixture", WalltimeAnalyzer)
+}
+
+// TestWalltimeAllowlist reruns the same violating fixture at allowlisted
+// module paths; the path, not the code, decides.
+func TestWalltimeAllowlist(t *testing.T) {
+	for _, rel := range []string{
+		"cmd/fixture",
+		"examples/demo",
+		"internal/mnet/netproxy",
+		"internal/mnet/replay",
+	} {
+		if diags := runFixture(t, "walltime", rel, WalltimeAnalyzer); len(diags) != 0 {
+			t.Errorf("rel %q: allowlisted package still flagged: %v", rel, diags)
+		}
+	}
+}
+
+func TestGlobalrandFixture(t *testing.T) {
+	checkFixture(t, "globalrand", "internal/gen/fixture", GlobalrandAnalyzer)
+}
+
+func TestGlobalrandAllowlist(t *testing.T) {
+	if diags := runFixture(t, "globalrand", "internal/randx", GlobalrandAnalyzer); len(diags) != 0 {
+		t.Errorf("internal/randx may construct rand streams, got: %v", diags)
+	}
+}
+
+func TestMaporderFixture(t *testing.T) {
+	checkFixture(t, "maporder", "internal/core/fixture", MaporderAnalyzer)
+}
+
+func TestWaitgroupFixture(t *testing.T) {
+	checkFixture(t, "waitgroup", "internal/fixture", WaitgroupAnalyzer)
+}
+
+func TestClosecheckFixture(t *testing.T) {
+	checkFixture(t, "closecheck", "internal/report/fixture", ClosecheckAnalyzer)
+}
+
+// TestSuppressFixture drives the directive end to end: same-line,
+// line-above and wildcard suppressions silence their findings, a
+// directive naming the wrong check does not, and a malformed directive
+// is itself reported under the unsuppressable "ignore" pseudo-check.
+func TestSuppressFixture(t *testing.T) {
+	checkFixtureMessages(t)
+	diags := runFixture(t, "suppress", "internal/fixture", WalltimeAnalyzer)
+
+	src, err := os.ReadFile(filepath.Join("testdata", "suppress", "suppress.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	malformedLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.TrimSpace(line) == ignorePrefix {
+			malformedLine = i + 1
+		}
+	}
+	if malformedLine == 0 {
+		t.Fatal("fixture lost its bare //wearlint:ignore directive")
+	}
+
+	var walltime, ignore []Diagnostic
+	for _, d := range diags {
+		switch d.Check {
+		case "walltime":
+			walltime = append(walltime, d)
+		case "ignore":
+			ignore = append(ignore, d)
+		default:
+			t.Errorf("unexpected check %q: %s", d.Check, d)
+		}
+	}
+	if len(walltime) != 1 {
+		t.Fatalf("want exactly 1 surviving walltime diagnostic (wrong-check directive), got %d: %v", len(walltime), walltime)
+	}
+	if len(ignore) != 1 {
+		t.Fatalf("want exactly 1 malformed-directive diagnostic, got %d: %v", len(ignore), ignore)
+	}
+	if ignore[0].Pos.Line != malformedLine {
+		t.Errorf("malformed directive reported at line %d, directive is at %d", ignore[0].Pos.Line, malformedLine)
+	}
+	if !strings.Contains(ignore[0].Message, "malformed suppression") {
+		t.Errorf("malformed-directive message = %q", ignore[0].Message)
+	}
+}
+
+// checkFixtureMessages pins the exact user-facing wording of one
+// representative diagnostic per check, so message regressions are caught
+// and the remediation hint stays present.
+func checkFixtureMessages(t *testing.T) {
+	t.Helper()
+	for _, tc := range []struct {
+		dir, rel string
+		a        *Analyzer
+		contains string
+	}{
+		{"walltime", "internal/gen/fixture", WalltimeAnalyzer, "internal/simtime"},
+		{"globalrand", "internal/gen/fixture", GlobalrandAnalyzer, "internal/randx"},
+		{"maporder", "internal/core/fixture", MaporderAnalyzer, "collect the keys, sort them"},
+		{"waitgroup", "internal/fixture", WaitgroupAnalyzer, "before the go statement"},
+		{"closecheck", "internal/report/fixture", ClosecheckAnalyzer, "writer path"},
+	} {
+		diags := runFixture(t, tc.dir, tc.rel, tc.a)
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics", tc.dir)
+			continue
+		}
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, tc.contains) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no diagnostic message contains %q; got %v", tc.dir, tc.contains, diags)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// globalrandAllowed: only the randomness package itself may touch
+// math/rand, and even there only to construct seeded generators.
+var globalrandAllowed = []string{"internal/randx"}
+
+// GlobalrandAnalyzer forbids the process-global math/rand stream.
+var GlobalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "package-level math/rand functions draw from shared global state; derive a seeded stream from internal/randx instead",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(p *Pass) {
+	if matchRel(p.Rel, globalrandAllowed) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(id).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are exactly the seeded API we want
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true // constructors (New, NewPCG, NewSource, ...) build seeded streams
+			}
+			p.Reportf(id.Pos(), "rand.%s draws from the global stream and breaks run-to-run determinism; split a seeded stream from internal/randx", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//wearlint:ignore <check> <reason>
+//
+// It silences diagnostics of the named check (or every check, for the
+// name "all") on the same line or on the line directly below the
+// comment. The reason is mandatory so suppressions stay auditable.
+const ignorePrefix = "//wearlint:ignore"
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+type ignoreIndex map[ignoreKey][]string
+
+// collectIgnores scans a unit's comments for suppression directives.
+// Malformed directives (missing check name or reason) are themselves
+// reported under the "ignore" pseudo-check, which cannot be suppressed.
+func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) ignoreIndex {
+	ix := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Check:   "ignore",
+						Pos:     pos,
+						Message: "malformed suppression: want //wearlint:ignore <check> <reason>",
+					})
+					continue
+				}
+				key := ignoreKey{file: pos.Filename, line: pos.Line}
+				ix[key] = append(ix[key], fields[0])
+			}
+		}
+	}
+	return ix
+}
+
+// filter drops suppressed diagnostics from diags[from:]. A diagnostic is
+// suppressed when a matching directive sits on its own line or the line
+// above.
+func (ix ignoreIndex) filter(diags []Diagnostic, from int) []Diagnostic {
+	if len(ix) == 0 {
+		return diags
+	}
+	kept := diags[:from]
+	for _, d := range diags[from:] {
+		if ix.matches(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func (ix ignoreIndex) matches(d Diagnostic) bool {
+	if d.Check == "ignore" {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, check := range ix[ignoreKey{file: d.Pos.Filename, line: line}] {
+			if check == d.Check || check == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

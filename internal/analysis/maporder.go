@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MaporderAnalyzer is the check that protects figure and report output:
+// a `for … range` over a map whose body emits — appends to a slice
+// declared outside the loop, writes through an io.Writer, or calls a
+// print/write-shaped method — is only deterministic if the function also
+// sorts. Go randomises map iteration per run, so an unsorted emitting
+// loop produces byte-different reports on every invocation.
+//
+// The heuristic is deliberately a tripwire, not a prover: any call to a
+// sort-shaped function (package sort, slices.Sort*, slices.Sorted*, or a
+// local helper with "sort" in its name) anywhere in the same top-level
+// function exempts the loop, because the dominant safe idioms are
+// "collect keys, sort, iterate" and
+// `for _, k := range slices.Sorted(maps.Keys(m))` — both of which leave
+// a visible sort call behind.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "emitting from a map range without sorting makes output depend on random iteration order",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if containsSortCall(p, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if desc := findEmit(p, rs); desc != "" {
+					p.Reportf(rs.For, "range over map %s %s, but the function never sorts; collect the keys, sort them, then emit", types.ExprString(rs.X), desc)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// containsSortCall reports whether any call in the body resolves to a
+// sort-shaped function.
+func containsSortCall(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && strings.Contains(strings.ToLower(fn.Pkg().Path()), "sort") {
+			found = true // package sort, internal/sortx, ...
+		} else if strings.Contains(strings.ToLower(fn.Name()), "sort") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// findEmit looks for an order-sensitive emission inside a map-range body
+// and describes the first one found ("" when the loop is harmless —
+// counting, set-building and map writes are order-insensitive).
+func findEmit(p *Pass, rs *ast.RangeStmt) string {
+	desc := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append to something that outlives the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin && len(call.Args) > 0 && isOuter(p, call.Args[0], rs) {
+				desc = "appends to " + types.ExprString(call.Args[0])
+			}
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		// fmt.Fprint* straight into a writer.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+			desc = "writes via fmt." + fn.Name()
+			return true
+		}
+		// Write/print-shaped method calls (w.Write, sb.WriteString,
+		// r.printf, enc.Emit, ...).
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			name := strings.ToLower(fn.Name())
+			for _, prefix := range []string{"write", "print", "fprint", "emit", "render"} {
+				if strings.HasPrefix(name, prefix) {
+					desc = "calls " + types.ExprString(call.Fun)
+					return true
+				}
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// isOuter reports whether the expression refers to storage declared
+// outside the range statement. Selectors and index expressions always
+// reach outer structure; plain identifiers are resolved by declaration
+// position.
+func isOuter(p *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}

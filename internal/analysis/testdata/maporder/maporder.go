@@ -1,0 +1,58 @@
+// Package fixture exercises the maporder check.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Rows appends to an outer slice in map order: flagged.
+func Rows(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want maporder
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Render writes through an io.Writer in map order: flagged.
+func Render(w io.Writer, m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// SortedRows collects, sorts, then emits; the sort call in the same
+// function exempts every loop in it.
+func SortedRows(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// Count only accumulates a commutative reduction; order-insensitive
+// loops pass without a sort.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes map-to-map; insertion order does not matter.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

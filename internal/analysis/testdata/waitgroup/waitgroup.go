@@ -1,0 +1,38 @@
+// Package fixture exercises the waitgroup check.
+package fixture
+
+import "sync"
+
+// AddInside calls Add from the spawned goroutine; the spawner can reach
+// Wait before Add runs: flagged at the Add call.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want waitgroup
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// MissingDone guards a goroutine that never signals; Wait blocks
+// forever: flagged at the go statement.
+func MissingDone(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want waitgroup
+		work()
+	}()
+	wg.Wait()
+}
+
+// Canonical is the correct pattern: Add before the spawn, deferred Done
+// inside it.
+func Canonical(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

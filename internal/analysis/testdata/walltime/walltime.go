@@ -1,0 +1,31 @@
+// Package fixture exercises the walltime check. Marked lines must
+// produce exactly one walltime diagnostic each.
+package fixture
+
+import "time"
+
+// Epoch anchors the fixture's simulated clock; time.Unix is a pure
+// constructor, not a clock read, and passes.
+var Epoch = time.Unix(0, 0)
+
+func Stamp() time.Time {
+	return time.Now() // want walltime
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want walltime
+}
+
+func Pause() {
+	time.Sleep(time.Millisecond) // want walltime
+}
+
+func Expire() <-chan time.Time {
+	return time.After(time.Second) // want walltime
+}
+
+// Later compares two simulated instants; (time.Time).After is a method,
+// not a clock read, and must not be flagged.
+func Later(a, b time.Time) bool {
+	return a.After(b)
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitgroupAnalyzer catches the two classic sync.WaitGroup mistakes:
+//
+//   - wg.Add called inside the goroutine it is meant to guard — the
+//     spawner can reach wg.Wait before the goroutine runs Add, so Wait
+//     returns early (a race the race detector only sees when the
+//     interleaving actually happens);
+//   - a goroutine spawned after wg.Add whose body never calls wg.Done —
+//     Wait blocks forever.
+var WaitgroupAnalyzer = &Analyzer{
+	Name: "waitgroup",
+	Doc:  "wg.Add inside the spawned goroutine, or a guarded goroutine body with no wg.Done",
+	Run:  runWaitgroup,
+}
+
+func runWaitgroup(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					reportAddInsideGo(p, lit)
+				}
+			case *ast.BlockStmt:
+				scanBlock(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportAddInsideGo flags wg.Add calls within a goroutine body.
+func reportAddInsideGo(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// A nested go statement starts its own goroutine; its body is
+		// inspected when the walk reaches it.
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, name, ok := wgMethod(p, call); ok && name == "Add" {
+				p.Reportf(call.Pos(), "%s.Add runs inside the goroutine it guards; the spawner can reach Wait first — call Add before the go statement", recv)
+			}
+		}
+		return true
+	})
+}
+
+// scanBlock walks one statement list in order, tracking WaitGroups with a
+// pending Add and flagging later goroutines whose bodies lack a matching
+// Done.
+func scanBlock(p *Pass, block *ast.BlockStmt) {
+	pending := map[string]bool{}
+	for _, stmt := range block.List {
+		if gs, ok := stmt.(*ast.GoStmt); ok {
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok || len(pending) == 0 {
+				continue
+			}
+			for recv := range pending {
+				if !callsOn(p, lit.Body, recv, "Done") {
+					p.Reportf(gs.Pos(), "goroutine spawned after %s.Add never calls %s.Done; Wait will block forever (move an unrelated spawn above the Add, or add the Done)", recv, recv)
+				}
+			}
+			continue
+		}
+		// Outside go statements, look for Add/Wait at this nesting level
+		// (not inside function literals, which run elsewhere).
+		walkStmtShallow(stmt, func(call *ast.CallExpr) {
+			recv, name, ok := wgMethod(p, call)
+			if !ok {
+				return
+			}
+			switch name {
+			case "Add":
+				pending[recv] = true
+			case "Wait":
+				delete(pending, recv)
+			}
+		})
+	}
+}
+
+// walkStmtShallow visits calls in a statement without descending into
+// function literals.
+func walkStmtShallow(stmt ast.Stmt, fn func(*ast.CallExpr)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// callsOn reports whether body contains recv.method(...), matching the
+// receiver textually (p.wg and wg are distinct, as they should be).
+func callsOn(p *Pass, body *ast.BlockStmt, recv, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r, name, ok := wgMethod(p, call); ok && name == method && r == recv {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// wgMethod matches a call to a sync.WaitGroup method, returning the
+// receiver expression text and the method name.
+func wgMethod(p *Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	fn, fnOK := p.ObjectOf(sel.Sel).(*types.Func)
+	if !fnOK {
+		return "", "", false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if t.String() != "sync.WaitGroup" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walltimeAllowed lists the packages that legitimately read the wall
+// clock: the two genuinely-networked packages (the live proxy and the
+// replay harness speak real TCP, so deadlines and stamps must be real
+// time), plus binaries and examples, which time their own phases for
+// operators. Everything else — simulation, study, figures — must work in
+// simtime hour indices so a run is a pure function of its seed.
+var walltimeAllowed = []string{
+	"internal/mnet/netproxy",
+	"internal/mnet/replay",
+	"cmd/...",
+	"examples/...",
+}
+
+// walltimeBanned are the time functions that couple output to the host
+// clock or scheduler.
+var walltimeBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// WalltimeAnalyzer forbids wall-clock reads outside the allowlist.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc:  "time.Now/Since/Sleep and friends outside networked packages; sim and analysis code must use internal/simtime",
+	Run:  runWalltime,
+}
+
+func runWalltime(p *Pass) {
+	if matchRel(p.Rel, walltimeAllowed) {
+		return
+	}
+	for _, f := range p.Files {
+		// Test files poll real deadlines legitimately.
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !walltimeBanned[id.Name] {
+				return true
+			}
+			fn, ok := p.ObjectOf(id).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Methods like (time.Time).After compare simulated instants;
+			// only the package-level clock readers are banned.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			p.Reportf(id.Pos(), "time.%s couples output to the wall clock; use internal/simtime hour indices (or move the code into an allowlisted networked package)", id.Name)
+			return true
+		})
+	}
+}

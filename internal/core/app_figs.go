@@ -8,6 +8,7 @@ import (
 	"wearwild/internal/mnet/mme"
 	"wearwild/internal/mnet/subs"
 	"wearwild/internal/simtime"
+	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 
 	"wearwild/internal/gen/apps"
@@ -83,7 +84,8 @@ func (s *Study) appFigures(res *Results) {
 		assoc, usedDaysPerUser float64
 	}
 	perApp := make(map[string]appTotals, len(aggs))
-	for name, a := range aggs {
+	for _, name := range sortx.Keys(aggs) {
+		a := aggs[name]
 		var assoc float64
 		for _, set := range a.dayUsers {
 			assoc += float64(len(set))
@@ -108,7 +110,8 @@ func (s *Study) appFigures(res *Results) {
 		return 100 * v / tot
 	}
 
-	for name, a := range aggs {
+	for _, name := range sortx.Keys(aggs) {
+		a := aggs[name]
 		res.Fig5a = append(res.Fig5a, AppPopularity{
 			App:                name,
 			DailyUsersSharePct: pct(perApp[name].assoc, totAssoc),
@@ -127,9 +130,11 @@ func (s *Study) appFigures(res *Results) {
 			UsageSamples: a.perUsageTx.N(),
 		})
 	}
-	sort.Slice(res.Fig5a, func(i, j int) bool { return res.Fig5a[i].DailyUsersSharePct > res.Fig5a[j].DailyUsersSharePct })
-	sort.Slice(res.Fig5b, func(i, j int) bool { return res.Fig5b[i].FreqSharePct > res.Fig5b[j].FreqSharePct })
-	sort.Slice(res.Fig7, func(i, j int) bool { return res.Fig7[i].KBPerUsage > res.Fig7[j].KBPerUsage })
+	// Stable sorts over the name-ordered rows: apps with identical shares
+	// keep a deterministic (alphabetical) relative order.
+	sort.SliceStable(res.Fig5a, func(i, j int) bool { return res.Fig5a[i].DailyUsersSharePct > res.Fig5a[j].DailyUsersSharePct })
+	sort.SliceStable(res.Fig5b, func(i, j int) bool { return res.Fig5b[i].FreqSharePct > res.Fig5b[j].FreqSharePct })
+	sort.SliceStable(res.Fig7, func(i, j int) bool { return res.Fig7[i].KBPerUsage > res.Fig7[j].KBPerUsage })
 
 	// Fig 6: category shares. Users associate with a category once per
 	// (day, user) regardless of how many of its apps they touch.
@@ -140,7 +145,8 @@ func (s *Study) appFigures(res *Results) {
 		bytes    float64
 	}
 	cats := make(map[apps.Category]*catAgg)
-	for _, a := range aggs {
+	for _, name := range sortx.Keys(aggs) {
+		a := aggs[name]
 		c := cats[a.app.Category]
 		if c == nil {
 			c = &catAgg{dayUsers: make(map[simtime.Day]map[subs.IMSI]struct{})}
@@ -160,15 +166,16 @@ func (s *Study) appFigures(res *Results) {
 	}
 	var totCatAssoc float64
 	catAssoc := make(map[apps.Category]float64)
-	for cat, c := range cats {
+	for _, cat := range sortx.Keys(cats) {
 		var assoc float64
-		for _, set := range c.dayUsers {
+		for _, set := range cats[cat].dayUsers {
 			assoc += float64(len(set))
 		}
 		catAssoc[cat] = assoc
 		totCatAssoc += assoc
 	}
-	for cat, c := range cats {
+	for _, cat := range sortx.Keys(cats) {
+		c := cats[cat]
 		res.Fig6 = append(res.Fig6, CategoryShare{
 			Category:      cat,
 			UsersSharePct: pct(catAssoc[cat], totCatAssoc),
@@ -177,7 +184,7 @@ func (s *Study) appFigures(res *Results) {
 			DataSharePct:  pct(c.bytes, totBytes),
 		})
 	}
-	sort.Slice(res.Fig6, func(i, j int) bool { return res.Fig6[i].UsersSharePct > res.Fig6[j].UsersSharePct })
+	sort.SliceStable(res.Fig6, func(i, j int) bool { return res.Fig6[i].UsersSharePct > res.Fig6[j].UsersSharePct })
 
 	// Fig 8: transaction categories over all wearable records.
 	type kindAgg struct {
@@ -221,8 +228,8 @@ func (s *Study) appFigures(res *Results) {
 	// §4.3 takeaways.
 	var appsPerUser []float64
 	maxApps := 0
-	for _, set := range userApps {
-		n := len(set)
+	for _, u := range sortx.Keys(userApps) {
+		n := len(userApps[u])
 		appsPerUser = append(appsPerUser, float64(n))
 		if n > maxApps {
 			maxApps = n
@@ -268,8 +275,8 @@ func (s *Study) throughDevice(res *Results) {
 		return ok && m.Class == devicedb.Smartphone
 	})
 	var disp stats.Summary
-	for _, m := range tdMob {
-		disp.Add(m.MeanDailyMaxKm())
+	for _, u := range sortx.Keys(tdMob) {
+		disp.Add(tdMob[u].MeanDailyMaxKm())
 	}
 	res.TD.MeanDispTDKm = disp.Mean()
 

@@ -9,6 +9,7 @@ import (
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/subs"
 	"wearwild/internal/simtime"
+	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 
 	"wearwild/internal/study/mobmetrics"
@@ -272,7 +273,8 @@ func (s *Study) hourlyPattern(res *Results) {
 func (s *Study) activityDistributions(res *Results) {
 	acts := usermetrics.Collect(s.wearRecs, nil)
 	var daysPerWeek, hoursPerDay []float64
-	for _, a := range acts {
+	for _, u := range sortx.Keys(acts) {
+		a := acts[u]
 		daysPerWeek = append(daysPerWeek, a.DaysPerWeek(detailWeeks()))
 		hoursPerDay = append(hoursPerDay, a.HoursPerActiveDay()...)
 	}
@@ -313,7 +315,8 @@ func (s *Study) transactions(res *Results) {
 
 	acts := usermetrics.Collect(s.wearRecs, nil)
 	var tx, kb []float64
-	for _, a := range acts {
+	for _, u := range sortx.Keys(acts) {
+		a := acts[u]
 		tx = append(tx, a.TxPerActiveHour())
 		kb = append(kb, a.BytesPerActiveHour()/1024)
 	}
@@ -344,7 +347,8 @@ func (s *Study) activityCoupling(res *Results) {
 	acts := usermetrics.Collect(s.wearRecs, nil)
 	var xs, ys []float64
 	buckets := make(map[int]*stats.Summary)
-	for _, a := range acts {
+	for _, u := range sortx.Keys(acts) {
+		a := acts[u]
 		h := a.MeanHoursPerActiveDay()
 		t := a.TxPerActiveHour()
 		if h == 0 {
@@ -379,7 +383,8 @@ func (s *Study) ownersVsRest(res *Results) {
 	var ownerB, restB []float64
 	var ownerT, restT stats.Summary
 	var ownerBS, restBS stats.Summary
-	for user, t := range totals {
+	for _, user := range sortx.Keys(totals) {
+		t := totals[user]
 		if s.ix.IsWearableUser(user) {
 			ownerB = append(ownerB, float64(t.Bytes))
 			ownerBS.Add(float64(t.Bytes))
@@ -421,7 +426,8 @@ func (s *Study) ownersVsRest(res *Results) {
 func (s *Study) deviceShare(res *Results) {
 	totals := usermetrics.TotalsFromUDR(s.ds.UDR.Records, simtime.Detail(), s.ds.Devices.IsWearable)
 	var shares []float64
-	for user, t := range totals {
+	for _, user := range sortx.Keys(totals) {
+		t := totals[user]
 		if !s.ix.IsWearableUser(user) || t.WearableBytes == 0 || t.Bytes == 0 {
 			continue
 		}
@@ -456,7 +462,8 @@ func (s *Study) mobility(res *Results) {
 	// intermittently.
 	const minEntropyDays = 5
 	collect := func(mobs map[subs.IMSI]*mobmetrics.Mobility) (disp []float64, entropy stats.Summary, moving stats.Summary) {
-		for _, m := range mobs {
+		for _, u := range sortx.Keys(mobs) {
+			m := mobs[u]
 			d := m.MeanDailyMaxKm()
 			disp = append(disp, d)
 			if len(m.DailyMaxKm) >= minEntropyDays {
@@ -505,7 +512,8 @@ func (s *Study) mobility(res *Results) {
 	acts := usermetrics.Collect(s.wearRecs, nil)
 	var xs, ys []float64
 	buckets := make(map[int]*stats.Summary)
-	for user, m := range wearMob {
+	for _, user := range sortx.Keys(wearMob) {
+		m := wearMob[user]
 		a := acts[user]
 		if a == nil {
 			continue

@@ -3,6 +3,7 @@ package core
 import (
 	"wearwild/internal/mnet/subs"
 	"wearwild/internal/simtime"
+	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 )
 
@@ -86,8 +87,8 @@ func (s *Study) ComputeWeeklyTrend() WeeklyTrend {
 
 	cv := func(m map[simtime.Day]float64) float64 {
 		var s stats.Summary
-		for _, v := range m {
-			s.Add(v)
+		for _, d := range sortx.Keys(m) {
+			s.Add(m[d])
 		}
 		if s.Mean() == 0 {
 			return 0

@@ -9,6 +9,7 @@ import (
 	"wearwild/internal/mnet/mme"
 	"wearwild/internal/randx"
 	"wearwild/internal/simtime"
+	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 
 	"wearwild/internal/gen/apps"
@@ -203,8 +204,8 @@ func TestEntropyGap(t *testing.T) {
 			}
 		}
 		var w []float64
-		for _, h := range dwell {
-			w = append(w, h)
+		for _, sec := range sortx.Keys(dwell) {
+			w = append(w, dwell[sec])
 		}
 		return stats.Entropy(w)
 	}

@@ -9,6 +9,7 @@ import (
 	"wearwild/internal/mnet/devicedb"
 	"wearwild/internal/randx"
 	"wearwild/internal/simtime"
+	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 
 	"wearwild/internal/gen/apps"
@@ -207,9 +208,9 @@ func TestActivityCorrelation(t *testing.T) {
 	_, _, _, txPerHour := activeStats(t, f)
 	// Fig 3(d): more active hours per day → more transactions per hour.
 	var xs, ys []float64
-	for hours, rates := range txPerHour {
+	for _, hours := range sortx.Keys(txPerHour) {
 		var s stats.Summary
-		for _, v := range rates {
+		for _, v := range txPerHour[hours] {
 			s.Add(v)
 		}
 		if s.N() < 5 {

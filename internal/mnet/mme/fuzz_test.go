@@ -32,6 +32,38 @@ func TestReadCSVGarbageProperty(t *testing.T) {
 	}
 }
 
+// FuzzReadCSV is the native fuzz entry for the MME log reader. CI runs
+// it in seed-corpus mode (go test -run='^Fuzz' with no -fuzz flag);
+// local fuzzing explores further with
+// go test -fuzz=FuzzReadCSV ./internal/mnet/mme.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("time_ms,imsi,imei,event,sector\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the reader accepts must survive a round trip intact.
+		var out bytes.Buffer
+		if err := WriteCSV(&out, recs); err != nil {
+			t.Fatalf("accepted records failed to re-encode: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to parse: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d != %d", len(back), len(recs))
+		}
+	})
+}
+
 // Flipping bytes in a valid CSV stream must never panic the reader.
 func TestReadCSVBitflip(t *testing.T) {
 	var buf bytes.Buffer

@@ -12,6 +12,7 @@ import (
 
 	"wearwild/internal/core"
 	"wearwild/internal/gen/apps"
+	"wearwild/internal/sortx"
 )
 
 // Renderer writes result sections to one writer.
@@ -278,8 +279,8 @@ func (r *Renderer) ThroughDevice(res *core.Results) {
 	td := res.TD
 	r.section("Conclusion — Through-Device wearable fingerprinting")
 	r.printf("identified users           %d\n", td.Identified)
-	for svc, n := range td.ByService {
-		r.printf("  %-24s %d\n", svc, n)
+	for _, svc := range sortx.Keys(td.ByService) {
+		r.printf("  %-24s %d\n", svc, td.ByService[svc])
 	}
 	r.printf("mean displacement TD/SIM   %.1f / %.1f km (paper: similar)\n", td.MeanDispTDKm, td.MeanDispSIMKm)
 	r.printf("mean phone year TD/other   %.1f / %.1f (paper: TD phones more modern)\n",

@@ -15,6 +15,7 @@ import (
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/subs"
 	"wearwild/internal/simtime"
+	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 )
 
@@ -109,8 +110,8 @@ func (a *Analyzer) Collect(records []mme.Record, window simtime.Window, keep fun
 			m.DailyMaxKm[d] = a.maxPairwiseKm(sectors)
 		}
 		weights := make([]float64, 0, len(dwell))
-		for _, w := range dwell {
-			weights = append(weights, w)
+		for _, sec := range sortx.Keys(dwell) {
+			weights = append(weights, dwell[sec])
 		}
 		m.Entropy = stats.Entropy(weights)
 		m.Sectors = len(dwell)

@@ -14,6 +14,7 @@ import (
 
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/subs"
+	"wearwild/internal/sortx"
 
 	"wearwild/internal/gen/apps"
 	"wearwild/internal/study/appid"
@@ -78,7 +79,8 @@ func Analyze(resolver *appid.Resolver, records []proxylog.Record, windowDays int
 
 	rep := &Report{PlanBytes: planBytes}
 	var overheadSum, planSum float64
-	for _, uc := range perUser {
+	for _, imsi := range sortx.Keys(perUser) {
+		uc := perUser[imsi]
 		var total float64
 		for _, v := range uc.MonthlyBytes {
 			total += v
