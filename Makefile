@@ -19,7 +19,9 @@ race:
 lint:
 	$(GO) run ./cmd/wearlint ./...
 
-# Run the native fuzz targets over their seed corpus only (no mutation).
+# Run the native fuzz targets over their seed corpus only (no mutation):
+# the mme/proxylog codec fuzzers plus the collection-path parsers
+# (httplog FuzzReadHead, sni FuzzReadClientHello).
 fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/mnet/...
 

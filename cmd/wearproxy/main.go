@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"wearwild/internal/mnet/netproxy"
 	"wearwild/internal/mnet/proxylog"
@@ -38,6 +39,13 @@ func main() {
 		logPath     = flag.String("log", "proxy.csv", "proxy log output (.csv[.gz] or .bin[.gz])")
 		mapPath     = flag.String("map", "", "host mapping file: one host=addr:port per line")
 		passthrough = flag.Bool("passthrough", false, "dial hosts directly (443 for TLS, 80 for HTTP)")
+
+		sniffTimeout = flag.Duration("sniff-timeout", 10*time.Second, "bound on reading the first flight (ClientHello / HTTP head)")
+		dialTimeout  = flag.Duration("dial-timeout", 10*time.Second, "bound on the origin dial")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "cut connections with no bytes moving for this long")
+		drain        = flag.Duration("drain", 5*time.Second, "shutdown grace before in-flight connections are force-closed")
+		maxConns     = flag.Int("max-conns", 1024, "concurrent connection bound (accept-side backpressure)")
+		maxConnBytes = flag.Int64("max-conn-bytes", 0, "per-connection byte cap, 0 = unlimited")
 	)
 	flag.Parse()
 
@@ -71,8 +79,18 @@ func main() {
 			records = append(records, r)
 			n := len(records)
 			mu.Unlock()
-			log.Printf("#%d %s %s %dB up %dB down %v", n, r.Scheme, r.Host, r.BytesUp, r.BytesDown, r.Duration)
+			suffix := ""
+			if r.Truncated() {
+				suffix = " [dropped: " + r.Drop.String() + "]"
+			}
+			log.Printf("#%d %s %s %dB up %dB down %v%s", n, r.Scheme, r.Host, r.BytesUp, r.BytesDown, r.Duration, suffix)
 		},
+		SniffTimeout: *sniffTimeout,
+		DialTimeout:  *dialTimeout,
+		IdleTimeout:  *idleTimeout,
+		DrainTimeout: *drain,
+		MaxConns:     *maxConns,
+		MaxConnBytes: *maxConnBytes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,12 +118,26 @@ func main() {
 		}
 	}
 
+	dumpCounters(proxy.Counters())
+
 	mu.Lock()
 	defer mu.Unlock()
 	if err := proxylog.WriteFile(*logPath, records); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d records to %s", len(records), *logPath)
+}
+
+// dumpCounters prints the proxy's accounting on shutdown so operators see
+// where connections went — clean relays versus each drop bucket.
+func dumpCounters(c netproxy.Counters) {
+	log.Printf("counters: accepted=%d relayed=%d dropped=%d up=%dB down=%dB",
+		c.Accepted, c.Relayed, c.Dropped(), c.BytesUp, c.BytesDown)
+	if c.Dropped() > 0 {
+		log.Printf("drops: sniff=%d protocol=%d dial=%d replay=%d idle=%d bytecap=%d forced=%d",
+			c.SniffFailed, c.BadProtocol, c.DialFailed, c.ReplayFailed,
+			c.IdleTimeout, c.ByteCapExceeded, c.ForcedClose)
+	}
 }
 
 // loadHostMap parses "host=addr:port" lines; '#' starts a comment.

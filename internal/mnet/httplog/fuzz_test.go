@@ -1,0 +1,89 @@
+package httplog
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// countingReader tallies how many bytes ReadHead actually pulled from the
+// stream — the regression guard for unbounded buffering.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestReadHeadUnterminatedStreamBounded feeds a 1 MiB delimiter-free
+// stream: ReadHead must fail as soon as the line limit is crossed, not
+// after buffering the whole stream.
+func TestReadHeadUnterminatedStreamBounded(t *testing.T) {
+	src := &countingReader{r: strings.NewReader("GET /" + strings.Repeat("a", 1<<20))}
+	if _, err := ReadHead(bufio.NewReader(src)); err == nil {
+		t.Fatal("headerless 1 MiB stream accepted")
+	}
+	// The limit is 8 KiB; allow one extra buffer of slack.
+	if src.n > maxLineLen+(8<<10) {
+		t.Fatalf("consumed %d bytes before enforcing the %d-byte line limit", src.n, maxLineLen)
+	}
+}
+
+// TestReadHeadLineLimitBoundary pins the limit itself: a request line at
+// the limit parses, one byte over fails.
+func TestReadHeadLineLimitBoundary(t *testing.T) {
+	build := func(lineLen int) string {
+		// "GET /aaa...a HTTP/1.1\r\n" of exactly lineLen bytes.
+		pad := lineLen - len("GET / HTTP/1.1\r\n")
+		return "GET /" + strings.Repeat("a", pad) + " HTTP/1.1\r\nHost: x\r\n\r\n"
+	}
+	if _, err := ReadHead(bufio.NewReader(strings.NewReader(build(maxLineLen)))); err != nil {
+		t.Fatalf("request line at the limit rejected: %v", err)
+	}
+	if _, err := ReadHead(bufio.NewReader(strings.NewReader(build(maxLineLen + 1)))); err == nil {
+		t.Fatal("request line over the limit accepted")
+	}
+}
+
+// FuzzReadHead is the native fuzz entry for the HTTP head parser: never
+// panic, never accept a head that violates its own invariants. CI runs it
+// in seed-corpus mode; explore locally with
+// go test -fuzz=FuzzReadHead ./internal/mnet/httplog.
+func FuzzReadHead(f *testing.F) {
+	seeds := []string{
+		"GET /feed/latest?page=2 HTTP/1.1\r\nHost: news.example.com\r\nUser-Agent: wear/1.0\r\n\r\nBODY",
+		"GET http://cdn.example.net/assets/icon.png HTTP/1.1\r\nHost: ignored.example\r\n\r\n",
+		"POST /api HTTP/1.1\r\nHost: api.example.com:8080\r\n\r\n",
+		"GET / HTTP/1.1\nHost: lf.example\n\n",
+		"GET / HTTP/1.1\r\nHost: x\r\n" + strings.Repeat("X-Pad: y\r\n", 140) + "\r\n",
+		"GET /" + strings.Repeat("a", 9000),
+		"YEET / HTTP/1.1\r\nHost: x\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		head, err := ReadHead(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if head.Host == "" {
+			t.Fatal("accepted a head without a host")
+		}
+		if !knownMethods[head.Method] {
+			t.Fatalf("accepted unknown method %q", head.Method)
+		}
+		if len(head.Raw) == 0 || len(head.Raw) > len(data) {
+			t.Fatalf("raw head %d bytes from %d input bytes", len(head.Raw), len(data))
+		}
+		if !bytes.HasPrefix(data, head.Raw) {
+			t.Fatal("raw head is not the consumed prefix of the input")
+		}
+	})
+}

@@ -121,15 +121,25 @@ func ReadHead(r *bufio.Reader) (Head, error) {
 }
 
 // readLine reads one CRLF- (or LF-) terminated line, appending the raw
-// bytes (including the terminator) to raw.
+// bytes (including the terminator) to raw. It reads via ReadSlice in
+// buffer-sized chunks so the length limit is enforced as soon as it is
+// crossed: a delimiter-free stream fails after ~maxLineLen bytes instead
+// of buffering the whole stream first.
 func readLine(r *bufio.Reader, raw *bytes.Buffer) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", fmt.Errorf("httplog: reading head: %w", err)
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > maxLineLen {
+			return "", fmt.Errorf("httplog: header line exceeds %d bytes", maxLineLen)
+		}
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return "", fmt.Errorf("httplog: reading head: %w", err)
+		}
 	}
-	if len(line) > maxLineLen {
-		return "", fmt.Errorf("httplog: header line exceeds %d bytes", maxLineLen)
-	}
-	raw.WriteString(line)
-	return strings.TrimRight(line, "\r\n"), nil
+	raw.Write(line)
+	return strings.TrimRight(string(line), "\r\n"), nil
 }

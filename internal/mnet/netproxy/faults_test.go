@@ -1,0 +1,653 @@
+package netproxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wearwild/internal/mnet/proxylog"
+)
+
+// readHTTPHead consumes a request head (through the blank line) on an
+// origin-side connection.
+func readHTTPHead(c net.Conn) error {
+	br := bufio.NewReader(c)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if line == "\r\n" || line == "\n" {
+			return nil
+		}
+	}
+}
+
+// rig is a running proxy wired for fault injection.
+type rig struct {
+	p    *Proxy
+	addr string
+	col  *collector
+}
+
+// newRig starts a proxy with the given config (Dial and Log are filled
+// in) listening on loopback. Tests that exercise Close call it
+// explicitly; the cleanup Close is idempotent.
+func newRig(t *testing.T, cfg Config, dial func(host string, isTLS bool) (net.Conn, error)) *rig {
+	t.Helper()
+	col := &collector{}
+	cfg.Dial = dial
+	cfg.Log = col.log
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = p.Serve(ln) }()
+	t.Cleanup(func() { _ = p.Close() })
+	return &rig{p: p, addr: ln.Addr().String(), col: col}
+}
+
+// dialTCPOrigin returns a Dial callback routing every host to addr.
+func dialTCPOrigin(addr string) func(string, bool) (net.Conn, error) {
+	return func(string, bool) (net.Conn, error) { return net.Dial("tcp", addr) }
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCloseDrainsStalledOrigin is the acceptance scenario: an origin
+// stalls mid-response and the client hangs on. Close must return within
+// the drain deadline, the connection must land in Counters as a forced
+// close, and the record must carry the partial byte counts under a
+// DropForced tag.
+func TestCloseDrainsStalledOrigin(t *testing.T) {
+	const partial = "partial!"
+	stall := make(chan struct{})
+	defer close(stall)
+
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer originLn.Close()
+	go func() {
+		c, err := originLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_ = readHTTPHead(c)
+		_, _ = io.WriteString(c, partial)
+		<-stall // never finishes the response, never closes
+	}()
+
+	r := newRig(t, Config{
+		DrainTimeout: 200 * time.Millisecond,
+		IdleTimeout:  30 * time.Second,
+	}, dialTCPOrigin(originLn.Addr().String()))
+
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "GET /firmware.bin HTTP/1.1\r\nHost: dl.example.com\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(partial))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+
+	begin := time.Now()
+	if err := r.p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v with a stalled origin; want < drain deadline + slack", elapsed)
+	}
+
+	recs := r.col.wait(t, 1)
+	rec := recs[0]
+	if rec.Drop != proxylog.DropForced {
+		t.Fatalf("drop = %v, want forced", rec.Drop)
+	}
+	if !rec.Truncated() {
+		t.Fatal("forced record not marked truncated")
+	}
+	if rec.BytesDown != int64(len(partial)) {
+		t.Fatalf("down bytes = %d, want %d", rec.BytesDown, len(partial))
+	}
+	if rec.BytesUp < int64(len(req)) {
+		t.Fatalf("up bytes = %d, want >= %d", rec.BytesUp, len(req))
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := r.p.Counters()
+	if c.ForcedClose != 1 || c.Relayed != 0 {
+		t.Fatalf("counters = %+v, want one forced close", c)
+	}
+	if c.BytesDown != uint64(len(partial)) {
+		t.Fatalf("counter down bytes = %d", c.BytesDown)
+	}
+}
+
+// TestReplayWriteFailurePartialCount: the origin dies while the sniffed
+// bytes are being replayed. The record must count the partial write and
+// be tagged DropReplay — not logged as a zero-byte success.
+func TestReplayWriteFailurePartialCount(t *testing.T) {
+	const partial = 10
+	r := newRig(t, Config{}, func(string, bool) (net.Conn, error) {
+		proxySide, originSide := net.Pipe()
+		go func() {
+			buf := make([]byte, partial)
+			_, _ = io.ReadFull(originSide, buf)
+			_ = originSide.Close() // dies mid-replay
+		}()
+		return proxySide, nil
+	})
+
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /a HTTP/1.1\r\nHost: x.example\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := r.col.wait(t, 1)
+	rec := recs[0]
+	if rec.Drop != proxylog.DropReplay {
+		t.Fatalf("drop = %v, want replay", rec.Drop)
+	}
+	if rec.BytesUp != partial {
+		t.Fatalf("up bytes = %d, want the partial write %d", rec.BytesUp, partial)
+	}
+	if rec.BytesDown != 0 {
+		t.Fatalf("down bytes = %d", rec.BytesDown)
+	}
+	if c := r.p.Counters(); c.ReplayFailed != 1 {
+		t.Fatalf("counters = %+v, want one replay failure", c)
+	}
+}
+
+// TestIdleTimeoutCutsQuietConnection: both sides go silent after the
+// request; the proxy must cut the connection, account it, and emit a
+// DropIdle record carrying the bytes that did move.
+func TestIdleTimeoutCutsQuietConnection(t *testing.T) {
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer originLn.Close()
+	hold := make(chan struct{})
+	defer close(hold)
+	go func() {
+		c, err := originLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_ = readHTTPHead(c)
+		<-hold // reads the request, never answers
+	}()
+
+	idle := 120 * time.Millisecond
+	r := newRig(t, Config{IdleTimeout: idle}, dialTCPOrigin(originLn.Addr().String()))
+
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "GET /ping HTTP/1.1\r\nHost: quiet.example\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := r.col.wait(t, 1)
+	rec := recs[0]
+	if rec.Drop != proxylog.DropIdle {
+		t.Fatalf("drop = %v, want idle", rec.Drop)
+	}
+	if rec.BytesUp < int64(len(req)) || rec.BytesDown != 0 {
+		t.Fatalf("bytes = %d/%d", rec.BytesUp, rec.BytesDown)
+	}
+	if rec.Duration < idle {
+		t.Fatalf("duration %v shorter than the idle timeout %v", rec.Duration, idle)
+	}
+	if c := r.p.Counters(); c.IdleTimeout != 1 {
+		t.Fatalf("counters = %+v, want one idle timeout", c)
+	}
+}
+
+// TestTricklingClientSurvivesIdleTimeout: a client dripping bytes slower
+// than the transfer's total duration but faster than the idle timeout
+// must NOT be cut — the deadline is re-armed on every relayed chunk.
+func TestTricklingClientSurvivesIdleTimeout(t *testing.T) {
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer originLn.Close()
+	go func() {
+		c, err := originLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_, _ = io.Copy(io.Discard, c) // consume everything until EOF
+		_, _ = io.WriteString(c, "HTTP/1.1 204 No Content\r\n\r\n")
+	}()
+
+	idle := 150 * time.Millisecond
+	r := newRig(t, Config{IdleTimeout: idle}, dialTCPOrigin(originLn.Addr().String()))
+
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := "POST /upload HTTP/1.1\r\nHost: drip.example\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	// 10 body bytes, 50ms apart: 500ms total, every gap under the idle
+	// timeout.
+	const drips = 10
+	for i := 0; i < drips; i++ {
+		time.Sleep(50 * time.Millisecond)
+		if _, err := conn.Write([]byte{'x'}); err != nil {
+			t.Fatalf("drip %d: %v", i, err)
+		}
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := r.col.wait(t, 1)
+	rec := recs[0]
+	if rec.Drop != proxylog.DropNone {
+		t.Fatalf("drop = %v, want none (deadline must re-arm per chunk)", rec.Drop)
+	}
+	if rec.Duration < 2*idle {
+		t.Fatalf("duration %v: the transfer was supposed to outlive the idle timeout", rec.Duration)
+	}
+	if rec.BytesUp < int64(len(req)+drips) {
+		t.Fatalf("up bytes = %d", rec.BytesUp)
+	}
+	if c := r.p.Counters(); c.IdleTimeout != 0 || c.Relayed != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestByteCapCutsConnection: an origin ballooning the response past
+// MaxConnBytes gets cut with DropByteCap and partial accounting.
+func TestByteCapCutsConnection(t *testing.T) {
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer originLn.Close()
+	go func() {
+		c, err := originLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_ = readHTTPHead(c)
+		blob := make([]byte, 64<<10)
+		for {
+			if _, err := c.Write(blob); err != nil {
+				return
+			}
+		}
+	}()
+
+	r := newRig(t, Config{MaxConnBytes: 4 << 10}, dialTCPOrigin(originLn.Addr().String()))
+
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /blob HTTP/1.1\r\nHost: big.example\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(conn) // drain until the proxy cuts us off
+
+	recs := r.col.wait(t, 1)
+	rec := recs[0]
+	if rec.Drop != proxylog.DropByteCap {
+		t.Fatalf("drop = %v, want bytecap", rec.Drop)
+	}
+	if rec.BytesDown == 0 {
+		t.Fatal("cap record lost its partial down count")
+	}
+	if c := r.p.Counters(); c.ByteCapExceeded != 1 {
+		t.Fatalf("counters = %+v, want one byte-cap cut", c)
+	}
+}
+
+// TestDialTimeout: a dialer that never returns must not wedge the
+// handler; the connection is dropped and the late connection reaped.
+func TestDialTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var lateMu sync.Mutex
+	var late net.Conn
+
+	r := newRig(t, Config{DialTimeout: 100 * time.Millisecond}, func(string, bool) (net.Conn, error) {
+		<-release // stuck far past the timeout
+		proxySide, originSide := net.Pipe()
+		lateMu.Lock()
+		late = originSide
+		lateMu.Unlock()
+		return proxySide, nil
+	})
+
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: stuck.example\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "dial drop counter", func() bool { return r.p.Counters().DialFailed == 1 })
+	if n := len(r.col.snapshot()); n != 0 {
+		t.Fatalf("dial timeout produced %d records; no bytes moved", n)
+	}
+
+	// Unstick the dialer: the reaper must close the late connection.
+	release <- struct{}{}
+	waitFor(t, "late dial reap", func() bool {
+		lateMu.Lock()
+		c := late
+		lateMu.Unlock()
+		if c == nil {
+			return false
+		}
+		_ = c.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+		_, err := c.Read(make([]byte, 1))
+		return errors.Is(err, io.ErrClosedPipe) || errors.Is(err, io.EOF)
+	})
+}
+
+// TestFaultInjectionNoRecord covers the pre-splice failure modes: each
+// hostile first flight must increment exactly its drop counter and emit
+// no record (no bytes ever moved toward an origin).
+func TestFaultInjectionNoRecord(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		client func(t *testing.T, conn net.Conn)
+		count  func(Counters) uint64
+	}{
+		{
+			name: "mid-clienthello-hangup",
+			client: func(t *testing.T, conn net.Conn) {
+				// A handshake record announcing 256 bytes, then only 50,
+				// then hangup.
+				_, _ = conn.Write(append([]byte{0x16, 3, 1, 1, 0}, make([]byte, 50)...))
+				_ = conn.Close()
+			},
+			count: func(c Counters) uint64 { return c.SniffFailed },
+		},
+		{
+			name: "slowloris-headers",
+			cfg:  Config{SniffTimeout: 150 * time.Millisecond},
+			client: func(t *testing.T, conn net.Conn) {
+				_, _ = io.WriteString(conn, "GET / HTTP/1.1\r\nHost: slow.example\r\n")
+				for i := 0; i < 10; i++ {
+					time.Sleep(50 * time.Millisecond)
+					if _, err := io.WriteString(conn, "X-Pad: y\r\n"); err != nil {
+						return // proxy cut us, as it should
+					}
+				}
+			},
+			count: func(c Counters) uint64 { return c.SniffFailed },
+		},
+		{
+			name: "garbage-protocol",
+			client: func(t *testing.T, conn net.Conn) {
+				_, _ = conn.Write([]byte("\x00\x01\x02 garbage protocol"))
+				_ = conn.Close()
+			},
+			count: func(c Counters) uint64 { return c.BadProtocol },
+		},
+		{
+			name: "http-shaped-garbage",
+			client: func(t *testing.T, conn net.Conn) {
+				_, _ = io.WriteString(conn, "GET over and out\r\n\r\n")
+				_ = conn.Close()
+			},
+			count: func(c Counters) uint64 { return c.BadProtocol },
+		},
+		{
+			name: "dial-error",
+			client: func(t *testing.T, conn net.Conn) {
+				_, _ = io.WriteString(conn, "GET / HTTP/1.1\r\nHost: nowhere.example\r\n\r\n")
+			},
+			count: func(c Counters) uint64 { return c.DialFailed },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, tc.cfg, func(host string, isTLS bool) (net.Conn, error) {
+				return nil, fmt.Errorf("unknown host %q", host)
+			})
+			conn, err := net.Dial("tcp", r.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			tc.client(t, conn)
+			waitFor(t, tc.name+" drop counter", func() bool { return tc.count(r.p.Counters()) == 1 })
+			if n := len(r.col.snapshot()); n != 0 {
+				t.Fatalf("%s produced %d records", tc.name, n)
+			}
+			c := r.p.Counters()
+			if c.Accepted != 1 || c.Relayed != 0 {
+				t.Fatalf("counters = %+v", c)
+			}
+		})
+	}
+}
+
+// faultListener hands out queued connections, then an injected error.
+type faultListener struct {
+	conns  chan net.Conn
+	errs   chan error
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newFaultListener() *faultListener {
+	return &faultListener{
+		conns:  make(chan net.Conn, 4),
+		errs:   make(chan error, 1),
+		closed: make(chan struct{}),
+	}
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case err := <-l.errs:
+		return nil, err
+	case <-l.closed:
+		return nil, errors.New("faultListener: closed")
+	}
+}
+
+func (l *faultListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *faultListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestServeDrainsOnAcceptError: an accept failure with a handler still
+// in flight must not leak the handler past Serve's return — Serve waits
+// out the drain deadline, forces the straggler, and only then returns
+// the error.
+func TestServeDrainsOnAcceptError(t *testing.T) {
+	col := &collector{}
+	dialed := make(chan struct{})
+	p, err := New(Config{
+		DrainTimeout: 200 * time.Millisecond,
+		IdleTimeout:  30 * time.Second,
+		Dial: func(string, bool) (net.Conn, error) {
+			proxySide, originSide := net.Pipe()
+			_ = originSide // stalled origin: never reads, never writes
+			close(dialed)
+			return proxySide, nil
+		},
+		Log: col.log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln := newFaultListener()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve(ln) }()
+
+	clientSide, proxyClient := net.Pipe()
+	defer clientSide.Close()
+	ln.conns <- proxyClient
+	go func() {
+		_, _ = io.WriteString(clientSide, "GET /hang HTTP/1.1\r\nHost: stall.example\r\n\r\n")
+	}()
+
+	// Wait until the handler is past the sniff (the origin dial ran), so
+	// the forced close lands mid-splice and must yield a tagged record.
+	select {
+	case <-dialed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("handler never reached the origin dial")
+	}
+
+	injected := errors.New("accept exploded")
+	ln.errs <- injected
+
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, injected) {
+			t.Fatalf("Serve error = %v, want the injected one", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Serve did not return within the drain deadline after an accept error")
+	}
+
+	c := p.Counters()
+	if c.Active != 0 {
+		t.Fatalf("counters = %+v: handler outlived Serve", c)
+	}
+	if c.ForcedClose != 1 {
+		t.Fatalf("counters = %+v, want the in-flight handler forced", c)
+	}
+	recs := col.wait(t, 1)
+	if recs[0].Drop != proxylog.DropForced {
+		t.Fatalf("drop = %v, want forced", recs[0].Drop)
+	}
+}
+
+// TestBackpressureMaxConns: with a single connection slot the proxy must
+// still serve a burst of clients — sequentially, via accept-side
+// backpressure — without deadlocking or dropping any.
+func TestBackpressureMaxConns(t *testing.T) {
+	const host = "queue.example.com"
+	originLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer originLn.Close()
+	go func() {
+		for {
+			c, err := originLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_ = readHTTPHead(c)
+				_, _ = io.WriteString(c, "HTTP/1.1 204 No Content\r\nConnection: close\r\n\r\n")
+			}(c)
+		}
+	}()
+
+	r := newRig(t, Config{MaxConns: 1}, dialTCPOrigin(originLn.Addr().String()))
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", r.addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			fmt.Fprintf(conn, "GET /q/%d HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", i, host)
+			body, _ := io.ReadAll(conn)
+			if !strings.Contains(string(body), "204") {
+				t.Errorf("conn %d: body %q", i, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	recs := r.col.wait(t, n)
+	if len(recs) != n {
+		t.Fatalf("records = %d, want %d", len(recs), n)
+	}
+	c := r.p.Counters()
+	if c.Relayed != n || c.Dropped() != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestCloseIdempotent: Close twice (as cleanup paths do) must be safe.
+func TestCloseIdempotent(t *testing.T) {
+	r := newRig(t, Config{}, func(string, bool) (net.Conn, error) {
+		return nil, errors.New("no origins")
+	})
+	if err := r.p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.p.Close() // second close: listener already down, must not hang
+}

@@ -57,6 +57,12 @@ func (c *collector) log(r proxylog.Record) {
 	c.recs = append(c.recs, r)
 }
 
+func (c *collector) snapshot() []proxylog.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]proxylog.Record(nil), c.recs...)
+}
+
 func (c *collector) wait(t *testing.T, n int) []proxylog.Record {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -18,14 +18,17 @@ import (
 //	opRec:   0x02, svarint(delta ms since previous record time),
 //	         uvarint(imsi), uvarint(imei), byte(scheme), uvarint(host id),
 //	         uvarint(len)+path bytes, uvarint(up), uvarint(down),
-//	         uvarint(duration ms)
+//	         uvarint(duration ms), byte(drop reason)    [v2]
+//
+// Version 2 appends the drop-reason byte to opRec; the decoder still
+// reads version-1 streams, whose records are all DropNone.
 //
 // Hosts repeat massively (a few hundred domains across millions of
 // transactions), so interning plus time deltas makes the binary form
 // several times smaller than CSV; the codec ablation bench quantifies it.
 const (
 	binMagic   = "WWPL"
-	binVersion = 1
+	binVersion = 2
 
 	opDef = 0x01
 	opRec = 0x02
@@ -86,6 +89,7 @@ func (e *Encoder) Encode(r Record) error {
 	e.scratch = binary.AppendUvarint(e.scratch, uint64(r.BytesUp))
 	e.scratch = binary.AppendUvarint(e.scratch, uint64(r.BytesDown))
 	e.scratch = binary.AppendUvarint(e.scratch, uint64(r.Duration.Milliseconds()))
+	e.scratch = append(e.scratch, byte(r.Drop))
 	_, err := e.w.Write(e.scratch)
 	return err
 }
@@ -107,6 +111,7 @@ type Decoder struct {
 	r       *bufio.Reader
 	hosts   []string
 	lastMs  int64
+	version byte
 	started bool
 }
 
@@ -123,9 +128,10 @@ func (d *Decoder) readHeader() error {
 	if string(magic[:4]) != binMagic {
 		return fmt.Errorf("proxylog: bad magic %q", magic[:4])
 	}
-	if magic[4] != binVersion {
+	if magic[4] == 0 || magic[4] > binVersion {
 		return fmt.Errorf("proxylog: unsupported version %d", magic[4])
 	}
+	d.version = magic[4]
 	return nil
 }
 
@@ -229,6 +235,17 @@ func (d *Decoder) readRecord() (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	var drop DropReason
+	if d.version >= 2 {
+		dropByte, err := d.r.ReadByte()
+		if err != nil {
+			return Record{}, fmt.Errorf("proxylog: drop reason: %w", err)
+		}
+		if DropReason(dropByte) >= NumDropReasons {
+			return Record{}, fmt.Errorf("proxylog: invalid drop reason byte %d", dropByte)
+		}
+		drop = DropReason(dropByte)
+	}
 	return Record{
 		Time:      time.UnixMilli(d.lastMs).UTC(),
 		IMSI:      subs.IMSI(imsiRaw),
@@ -239,6 +256,7 @@ func (d *Decoder) readRecord() (Record, error) {
 		BytesUp:   int64(up),
 		BytesDown: int64(down),
 		Duration:  time.Duration(durMs) * time.Millisecond,
+		Drop:      drop,
 	}, nil
 }
 

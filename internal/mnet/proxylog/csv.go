@@ -13,8 +13,9 @@ import (
 )
 
 // csvHeader is the column layout of the CSV form. Times are millisecond
-// unix timestamps: transactions cluster within seconds.
-var csvHeader = []string{"ts_ms", "imsi", "imei", "scheme", "host", "path", "up", "down", "dur_ms"}
+// unix timestamps: transactions cluster within seconds. The drop column
+// is blank on clean records so the common case costs one byte.
+var csvHeader = []string{"ts_ms", "imsi", "imei", "scheme", "host", "path", "up", "down", "dur_ms", "drop"}
 
 // WriteCSV streams records as CSV with a header row.
 func WriteCSV(w io.Writer, records []Record) error {
@@ -33,6 +34,10 @@ func WriteCSV(w io.Writer, records []Record) error {
 		row[6] = strconv.FormatInt(r.BytesUp, 10)
 		row[7] = strconv.FormatInt(r.BytesDown, 10)
 		row[8] = strconv.FormatInt(r.Duration.Milliseconds(), 10)
+		row[9] = ""
+		if r.Drop != DropNone {
+			row[9] = r.Drop.String()
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -101,6 +106,10 @@ func parseRow(row []string) (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("duration: %v", err)
 	}
+	drop, err := ParseDropReason(row[9])
+	if err != nil {
+		return Record{}, err
+	}
 	rec := Record{
 		Time:      time.UnixMilli(ts).UTC(),
 		IMSI:      im,
@@ -111,6 +120,7 @@ func parseRow(row []string) (Record, error) {
 		BytesUp:   up,
 		BytesDown: down,
 		Duration:  time.Duration(durMs) * time.Millisecond,
+		Drop:      drop,
 	}
 	if err := rec.Validate(); err != nil {
 		return Record{}, err

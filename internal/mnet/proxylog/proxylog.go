@@ -47,6 +47,89 @@ func ParseScheme(s string) (Scheme, error) {
 	}
 }
 
+// DropReason classifies why the proxy ended a connection abnormally.
+// DropNone marks a clean transaction; every other value tags a record
+// whose byte counts are partial (the connection was cut mid-flight) so
+// totals survive failures without lying about completeness.
+type DropReason uint8
+
+const (
+	// DropNone is a clean, fully relayed transaction.
+	DropNone DropReason = iota
+	// DropSniff: the first-flight parse failed or timed out (truncated
+	// ClientHello, slowloris headers, missing SNI).
+	DropSniff
+	// DropProtocol: the first bytes were neither a TLS ClientHello nor an
+	// HTTP/1.x request.
+	DropProtocol
+	// DropDial: the origin dial failed or exceeded the dial timeout.
+	DropDial
+	// DropReplay: replaying the sniffed bytes upstream failed; BytesUp
+	// holds the partial write count.
+	DropReplay
+	// DropIdle: no bytes moved in either direction for the idle timeout.
+	DropIdle
+	// DropByteCap: the per-connection byte cap was exceeded.
+	DropByteCap
+	// DropForced: the proxy force-closed the connection at the drain
+	// deadline during shutdown.
+	DropForced
+
+	// NumDropReasons sizes per-reason counter arrays; every valid
+	// DropReason is strictly below it.
+	NumDropReasons
+)
+
+// String names the drop reason. Later values win ties when two reasons
+// race on one connection, so the order above is also a severity order.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropSniff:
+		return "sniff"
+	case DropProtocol:
+		return "protocol"
+	case DropDial:
+		return "dial"
+	case DropReplay:
+		return "replay"
+	case DropIdle:
+		return "idle"
+	case DropByteCap:
+		return "bytecap"
+	case DropForced:
+		return "forced"
+	default:
+		return fmt.Sprintf("drop(%d)", uint8(d))
+	}
+}
+
+// ParseDropReason inverts DropReason.String. The empty string parses as
+// DropNone: the CSV form leaves the column blank on clean records.
+func ParseDropReason(s string) (DropReason, error) {
+	switch s {
+	case "", "none":
+		return DropNone, nil
+	case "sniff":
+		return DropSniff, nil
+	case "protocol":
+		return DropProtocol, nil
+	case "dial":
+		return DropDial, nil
+	case "replay":
+		return DropReplay, nil
+	case "idle":
+		return DropIdle, nil
+	case "bytecap":
+		return DropByteCap, nil
+	case "forced":
+		return DropForced, nil
+	default:
+		return 0, fmt.Errorf("proxylog: unknown drop reason %q", s)
+	}
+}
+
 // Record is one proxy log line.
 type Record struct {
 	Time   time.Time
@@ -63,10 +146,17 @@ type Record struct {
 	BytesDown int64
 	// Duration is the transaction duration.
 	Duration time.Duration
+	// Drop is DropNone for clean transactions; any other value marks the
+	// record as truncated and names why the proxy cut the connection.
+	Drop DropReason
 }
 
 // Bytes returns the transaction's total byte count.
 func (r Record) Bytes() int64 { return r.BytesUp + r.BytesDown }
+
+// Truncated reports whether the connection ended abnormally, i.e. the
+// byte counts are a partial view of the transaction.
+func (r Record) Truncated() bool { return r.Drop != DropNone }
 
 // URL reconstructs the logged URL: scheme://host/path for HTTP, and just
 // the host-based form for HTTPS.
@@ -90,6 +180,9 @@ func (r Record) Validate() error {
 	}
 	if r.Scheme == HTTPS && r.Path != "" {
 		return fmt.Errorf("proxylog: HTTPS record carries a path")
+	}
+	if r.Drop >= NumDropReasons {
+		return fmt.Errorf("proxylog: unknown drop reason %d", r.Drop)
 	}
 	return nil
 }

@@ -23,13 +23,17 @@ func sampleRecords() []Record {
 			Host: "graph.social.example.com", BytesUp: 900, BytesDown: 3100, Duration: 410 * time.Millisecond},
 		{Time: t0.Add(3 * time.Minute), IMSI: subs.MustNew(9), IMEI: imei.MustNew(35733009, 3), Scheme: HTTPS,
 			Host: "api.weather.example.com", BytesUp: 399, BytesDown: 2714, Duration: 290 * time.Millisecond},
+		// A truncated record: the proxy cut this connection mid-flight.
+		{Time: t0.Add(4 * time.Minute), IMSI: subs.MustNew(9), IMEI: imei.MustNew(35733009, 3), Scheme: HTTPS,
+			Host: "graph.social.example.com", BytesUp: 120, BytesDown: 0, Duration: 95 * time.Second, Drop: DropIdle},
 	}
 }
 
 func recordsEqual(a, b Record) bool {
 	return a.Time.Equal(b.Time) && a.IMSI == b.IMSI && a.IMEI == b.IMEI &&
 		a.Scheme == b.Scheme && a.Host == b.Host && a.Path == b.Path &&
-		a.BytesUp == b.BytesUp && a.BytesDown == b.BytesDown && a.Duration == b.Duration
+		a.BytesUp == b.BytesUp && a.BytesDown == b.BytesDown && a.Duration == b.Duration &&
+		a.Drop == b.Drop
 }
 
 func TestRecordHelpers(t *testing.T) {
@@ -69,6 +73,63 @@ func TestValidate(t *testing.T) {
 	bad.Path = "/x" // HTTPS with path
 	if bad.Validate() == nil {
 		t.Fatal("HTTPS path accepted")
+	}
+	bad = good
+	bad.Drop = NumDropReasons
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range drop reason accepted")
+	}
+}
+
+func TestDropReasonRoundTrip(t *testing.T) {
+	for d := DropNone; d < NumDropReasons; d++ {
+		got, err := ParseDropReason(d.String())
+		if err != nil || got != d {
+			t.Fatalf("round trip %v: %v", d, err)
+		}
+	}
+	// The CSV form leaves the column blank on clean records.
+	if got, err := ParseDropReason(""); err != nil || got != DropNone {
+		t.Fatalf("empty drop reason: %v", err)
+	}
+	if _, err := ParseDropReason("melted"); err == nil {
+		t.Fatal("unknown drop reason accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	recs := sampleRecords()
+	if recs[0].Truncated() {
+		t.Fatal("clean record reported truncated")
+	}
+	last := recs[len(recs)-1]
+	if !last.Truncated() || last.Drop != DropIdle {
+		t.Fatalf("drop-tagged record = %+v", last)
+	}
+}
+
+// TestBinaryV1StreamCompat: version-1 streams (no drop byte) must still
+// decode, with every record DropNone.
+func TestBinaryV1StreamCompat(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("WWPL\x01")
+	buf.WriteByte(0x01) // opDef
+	buf.WriteByte(9)    // host length
+	buf.WriteString("a.example")
+	buf.WriteByte(0x02)                                               // opRec
+	buf.Write([]byte{0x00})                                           // delta 0
+	buf.Write([]byte{0x01, 0x01, 0x01})                               // imsi, imei, scheme https
+	buf.Write([]byte{0x00, 0x00, 0x0A, 0x14, 0x1E})                   // host 0, path len 0, up 10, down 20, dur 30
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("records = %d", len(got))
+	}
+	r := got[0]
+	if r.Host != "a.example" || r.BytesUp != 10 || r.BytesDown != 20 || r.Drop != DropNone {
+		t.Fatalf("record = %+v", r)
 	}
 }
 
@@ -158,6 +219,19 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	buf.Write([]byte{0x05})             // host id 5: undefined
 	if _, err := ReadBinary(&buf); err == nil {
 		t.Fatal("undefined host id accepted")
+	}
+	// A v2 record whose drop byte is out of range.
+	buf.Reset()
+	buf.WriteString("WWPL\x02")
+	buf.WriteByte(0x01) // opDef
+	buf.WriteByte(1)
+	buf.WriteString("a")
+	buf.WriteByte(0x02)                                   // opRec
+	buf.Write([]byte{0x00, 0x01, 0x01, 0x01, 0x00, 0x00}) // delta, imsi, imei, scheme, host, path len
+	buf.Write([]byte{0x01, 0x01, 0x01})                   // up, down, dur
+	buf.WriteByte(0x77)                                   // drop reason: out of range
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("out-of-range drop byte accepted")
 	}
 }
 

@@ -1,0 +1,78 @@
+package sni
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadClientHelloManyFragments pins the incremental-reassembly path:
+// a large hello shredded into hundreds of tiny records must parse
+// correctly (and in O(total) — the old code re-parsed the whole prefix
+// after every record, quadratic in the record count).
+func TestReadClientHelloManyFragments(t *testing.T) {
+	spec := helloSpec{
+		version:    0x0303,
+		ciphers:    7000, // ~14 KiB of cipher suites
+		sessionLen: 32,
+		sni:        "shredded.example.com",
+		alpn:       []string{"h2", "http/1.1"},
+		fragment:   16, // ~900 records
+	}
+	raw := buildHello(spec)
+	info, consumed, err := ReadClientHello(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ServerName != spec.sni {
+		t.Fatalf("sni = %q", info.ServerName)
+	}
+	if info.CipherSuites != spec.ciphers {
+		t.Fatalf("ciphers = %d", info.CipherSuites)
+	}
+	if !bytes.Equal(consumed, raw) {
+		t.Fatal("consumed bytes differ from the wire bytes")
+	}
+	// The replay bytes must re-parse identically (a proxy replays them).
+	again, err := Parse(consumed)
+	if err != nil || again.ServerName != info.ServerName {
+		t.Fatalf("replay parse: %v, %q", err, again.ServerName)
+	}
+}
+
+// FuzzReadClientHello is the native fuzz entry for the streaming hello
+// reader: never panic, never consume more than the input, and every
+// accepted hello's raw bytes must re-parse to the same server name (the
+// proxy replays exactly those bytes upstream). CI runs it in seed-corpus
+// mode; explore locally with go test -fuzz=FuzzReadClientHello
+// ./internal/mnet/sni.
+func FuzzReadClientHello(f *testing.F) {
+	f.Add(buildHello(helloSpec{version: 0x0303, ciphers: 12, sni: "api.weather.app", alpn: []string{"h2", "http/1.1"}}))
+	f.Add(buildHello(helloSpec{version: 0x0303, ciphers: 30, sessionLen: 32, sni: "push.deezer.app", fragment: 48}))
+	f.Add(buildHello(helloSpec{version: 0x0301, ciphers: 1}))
+	f.Add(buildHello(helloSpec{version: 0x0303, ciphers: 4, sni: "tiny.example", fragment: 1}))
+	f.Add([]byte{0x16, 3, 1, 0, 1, 1})
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, raw, err := ReadClientHello(bytes.NewReader(data))
+		if len(raw) > len(data) {
+			t.Fatalf("consumed %d bytes from %d input bytes", len(raw), len(data))
+		}
+		if !bytes.HasPrefix(data, raw) {
+			t.Fatal("consumed bytes are not the input prefix")
+		}
+		if err != nil {
+			return
+		}
+		if info.ServerName != "" && !validHostname([]byte(info.ServerName)) {
+			t.Fatalf("accepted invalid hostname %q", info.ServerName)
+		}
+		again, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("accepted raw bytes do not re-parse: %v", err)
+		}
+		if again.ServerName != info.ServerName {
+			t.Fatalf("replay drift: %q != %q", again.ServerName, info.ServerName)
+		}
+	})
+}

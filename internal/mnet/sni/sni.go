@@ -322,15 +322,18 @@ func validHostname(b []byte) bool {
 
 // ReadClientHello reads exactly the leading ClientHello from r and returns
 // both the parsed info and the raw bytes consumed, so a proxy can replay
-// them to the upstream connection.
+// them to the upstream connection. Handshake fragments are reassembled
+// incrementally as records arrive — each byte is appended once and the
+// hello is parsed once, so a hello fragmented across many records costs
+// O(total) instead of re-parsing the whole prefix per record.
 func ReadClientHello(r io.Reader) (Info, []byte, error) {
-	var raw []byte
-	header := make([]byte, 5)
+	var raw, hs []byte
+	var header [5]byte
 	for {
-		if _, err := io.ReadFull(r, header); err != nil {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
 			return Info{}, raw, fmt.Errorf("sni: reading record header: %w", err)
 		}
-		raw = append(raw, header...)
+		raw = append(raw, header[:]...)
 		if header[0] != recordTypeHandshake {
 			return Info{}, raw, ErrNotTLS
 		}
@@ -343,15 +346,25 @@ func ReadClientHello(r io.Reader) (Info, []byte, error) {
 			return Info{}, raw, fmt.Errorf("sni: reading record body: %w", err)
 		}
 		raw = append(raw, body...)
+		hs = append(hs, body...)
 
-		info, err := Parse(raw)
-		if err == nil {
-			return info, raw, nil
+		if len(hs) >= 4 {
+			if hs[0] != handshakeClientHello {
+				return Info{}, raw, ErrNotClientHello
+			}
+			want := 4 + (int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3]))
+			if want > maxHelloLen {
+				return Info{}, raw, fmt.Errorf("sni: hello length %d implausible", want-4)
+			}
+			if len(hs) >= want {
+				info, err := parseClientHello(hs[4:want])
+				if err != nil {
+					return Info{}, raw, err
+				}
+				return info, raw, nil
+			}
 		}
-		if !errors.Is(err, ErrTruncated) {
-			return Info{}, raw, err
-		}
-		if len(raw) > maxHelloLen+4096 {
+		if len(hs) > maxHelloLen {
 			return Info{}, raw, fmt.Errorf("sni: ClientHello never completed")
 		}
 	}
