@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke check
+.PHONY: build test race lint lint-json fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,14 @@ race:
 	$(GO) test -race ./...
 
 # wearlint walks the module and reports determinism/concurrency
-# violations; see DESIGN.md "Determinism invariants".
+# violations; see DESIGN.md "Static analysis".
 lint:
 	$(GO) run ./cmd/wearlint ./...
+
+# Same findings as machine-readable JSON (what CI uploads as an
+# artifact); byte-stable across runs.
+lint-json:
+	$(GO) run ./cmd/wearlint -format json ./...
 
 # Run the native fuzz targets over their seed corpus only (no mutation):
 # the mme/proxylog codec fuzzers plus the collection-path parsers

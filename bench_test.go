@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"wearwild/internal/analysis"
 	"wearwild/internal/core"
 	"wearwild/internal/gen/apps"
 	"wearwild/internal/gen/sim"
@@ -376,6 +377,34 @@ func BenchmarkAttribute(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*float64(attributed)/float64(len(usages)), "attributed_pct")
+}
+
+// Wearlint ablation: the per-unit pass cache. The first Run pays full
+// type-checking plus call-graph construction; repeat Runs reuse the
+// cached passes, graph, and suppression index, so all eight analyzers
+// (and every rerun) share one type-check per unit. cold_ms is the first
+// run; the timed loop is the warm path; speedup is their ratio.
+func BenchmarkWearlintModule(b *testing.B) {
+	mod, err := analysis.LoadModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := mod.Run(); err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mod.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cold.Milliseconds()), "cold_ms")
+	if warm := b.Elapsed() / time.Duration(b.N); warm > 0 {
+		b.ReportMetric(float64(cold)/float64(warm), "speedup")
+	}
 }
 
 func BenchmarkAttributeAnchor(b *testing.B) {

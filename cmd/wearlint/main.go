@@ -3,9 +3,14 @@
 //
 //	go run ./cmd/wearlint ./...
 //	go run ./cmd/wearlint ./internal/core
+//	go run ./cmd/wearlint -format json ./...
 //
-// Diagnostics print as file:line:col: check: message and a non-zero exit
-// reports findings. Suppress a finding with a justified comment:
+// Text diagnostics print as file:line:col: check: message (call-graph
+// checks add the offending chain, one indented line per hop) and a
+// non-zero exit reports findings. -format json emits a byte-stable JSON
+// array for CI problem-matchers and artifacts. Suppress a finding with a
+// justified comment on the flagged line — or, for chain-carrying
+// diagnostics, on any call site along the chain:
 //
 //	//wearlint:ignore <check> <reason>
 package main
@@ -22,8 +27,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the available checks and exit")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [-format text|json] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,13 +40,17 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args()); err != nil {
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "wearlint: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *format); err != nil {
 		fmt.Fprintln(os.Stderr, "wearlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, format string) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
@@ -54,17 +64,37 @@ func run(args []string) error {
 		return err
 	}
 	diags = filterArgs(diags, root, args)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	if format == "json" {
+		if err := analysis.WriteJSON(os.Stdout, root, diags); err != nil {
+			return err
 		}
-		fmt.Println(d)
+	} else {
+		printText(diags, root)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "wearlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 	return nil
+}
+
+// printText renders diagnostics for humans and for the CI
+// problem-matcher: the matcher parses the first line of each finding;
+// the indented chain lines are context it ignores.
+func printText(diags []analysis.Diagnostic, root string) {
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return name
+	}
+	for _, d := range diags {
+		d.Pos.Filename = rel(d.Pos.Filename)
+		fmt.Println(d)
+		for i, step := range d.Path {
+			fmt.Printf("    #%d %s:%d:%d: in %s\n", i+1, rel(step.Pos.Filename), step.Pos.Line, step.Pos.Column, step.Func)
+		}
+	}
 }
 
 // filterArgs restricts diagnostics to the requested package directories.

@@ -34,6 +34,18 @@ type Diagnostic struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	// Path is the call chain of an interprocedural finding, root call
+	// first; nil for single-position checks. A suppression directive on
+	// any step of the chain silences the whole diagnostic.
+	Path []PathStep
+}
+
+// PathStep is one call site along an interprocedural diagnostic's chain.
+type PathStep struct {
+	// Func names the calling function ("internal/study/sessions.Sessionize").
+	Func string
+	// Pos is the call site inside Func.
+	Pos token.Position
 }
 
 func (d Diagnostic) String() string {
@@ -41,12 +53,42 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one check: a name for diagnostics and ignore comments, a
-// one-line description, and the function that inspects a type-checked
-// package.
+// one-line description, and the function that inspects the code. Run
+// inspects one type-checked package at a time; RunModule, for
+// interprocedural checks, runs once over the whole module with the call
+// graph available. Exactly one of the two is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// ModulePass hands the whole module — every unit type-checked, the call
+// graph built — to an interprocedural analyzer.
+type ModulePass struct {
+	Mod   *Module
+	Graph *CallGraph
+
+	diags *[]Diagnostic
+	check string
+}
+
+// Reportf records a module-level diagnostic at pos with an optional call
+// chain (root call first).
+func (mp *ModulePass) Reportf(pos token.Pos, path []PathStep, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Check:   mp.check,
+		Pos:     mp.Mod.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+		Path:    path,
+	})
+}
+
+// NetConn returns the net.Conn interface type, or nil when the net
+// package cannot be loaded.
+func (mp *ModulePass) NetConn() *types.Interface {
+	return mp.Mod.importer().netConn()
 }
 
 // Pass hands one lint unit (a package, with its in-package test files) to
@@ -108,7 +150,8 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// DefaultAnalyzers returns every check, in stable order.
+// DefaultAnalyzers returns every check, in stable order: the five
+// intraprocedural tripwires, then the three call-graph checks.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer,
@@ -116,33 +159,52 @@ func DefaultAnalyzers() []*Analyzer {
 		MaporderAnalyzer,
 		WaitgroupAnalyzer,
 		ClosecheckAnalyzer,
+		DetreachAnalyzer,
+		DeadlineAnalyzer,
+		LockheldAnalyzer,
 	}
 }
 
 // Run type-checks every unit of the module and applies the analyzers,
-// returning suppressed-filtered diagnostics sorted by position. Type-check
-// failures are returned as error so a broken load never masquerades as a
-// clean lint.
+// returning suppressed-filtered diagnostics sorted by position. Units are
+// type-checked once per Module and shared by every analyzer (and by
+// repeat Runs); the call graph is likewise built once, on demand.
+// Type-check failures are returned as error so a broken load never
+// masquerades as a clean lint.
 func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 	if len(analyzers) == 0 {
 		analyzers = DefaultAnalyzers()
 	}
 	var diags []Diagnostic
+	ign := m.ignoreIndex(&diags)
 	var typeErrs []string
+	needGraph := false
 	for _, u := range m.Units {
-		pass, errs := m.typecheck(u)
+		pass, errs := m.pass(u)
 		for _, err := range errs {
 			typeErrs = append(typeErrs, fmt.Sprintf("%s: %v", u.Rel, err))
 		}
 		pass.diags = &diags
-		ign := collectIgnores(m.Fset, u.Files, &diags)
-		before := len(diags)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				needGraph = needGraph || a.RunModule != nil
+				continue
+			}
 			pass.check = a.Name
 			a.Run(pass)
 		}
-		diags = ign.filter(diags, before)
 	}
+	if needGraph {
+		mp := &ModulePass{Mod: m, Graph: m.CallGraph(), diags: &diags}
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			mp.check = a.Name
+			a.RunModule(mp)
+		}
+	}
+	diags = ign.filter(diags, 0)
 	if len(typeErrs) > 0 {
 		n := len(typeErrs)
 		if n > 10 {

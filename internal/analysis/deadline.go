@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deadlineScope: the collection path is the only code that reads and
+// writes real sockets, and DESIGN.md §6 promises none of it can wedge on
+// a dead peer. A raw net.Conn Read or Write with no deadline armed
+// anywhere on the way in is an unbounded park.
+var deadlineScope = []string{"internal/mnet/..."}
+
+// DeadlineAnalyzer requires every net.Conn Read/Write in internal/mnet
+// to be dominated by a SetDeadline-family call — in the same function,
+// or in a caller on every path into it. Deadlines are direction-aware:
+// SetDeadline guards both directions, SetReadDeadline only reads,
+// SetWriteDeadline only writes.
+var DeadlineAnalyzer = &Analyzer{
+	Name:      "deadline",
+	Doc:       "net.Conn Read/Write in internal/mnet with no SetDeadline-family call in the function or on every caller path into it",
+	RunModule: runDeadline,
+}
+
+// connIOSite is one raw Read/Write on a net.Conn.
+type connIOSite struct {
+	pos   token.Pos
+	write bool
+	expr  string // receiver text, for the message
+}
+
+// deadlineFacts summarises one function for the check.
+type deadlineFacts struct {
+	io          []connIOSite
+	guardsRead  bool
+	guardsWrite bool
+}
+
+func runDeadline(mp *ModulePass) {
+	conn := mp.NetConn()
+	if conn == nil {
+		return
+	}
+	// Facts are computed for every module function — guards outside
+	// internal/mnet still count for callers — but only in-scope IO sites
+	// are reported.
+	facts := map[*Node]*deadlineFacts{}
+	mp.Graph.Walk(func(n *Node) {
+		if n.Decl != nil && n.Decl.Body != nil {
+			facts[n] = connFacts(n.Pass, n.Decl.Body, conn)
+		}
+	})
+	for _, n := range mp.Graph.FuncsIn(deadlineScope) {
+		if n.Test {
+			continue
+		}
+		f := facts[n]
+		for _, site := range f.io {
+			if guardsDirection(f, site.write) {
+				continue
+			}
+			if entry, chain := unguardedEntry(n, site.write, facts); entry != nil {
+				verb, guard := "Read", "SetReadDeadline"
+				if site.write {
+					verb, guard = "Write", "SetWriteDeadline"
+				}
+				from := ""
+				if entry != n {
+					from = " (unguarded entry " + entry.DisplayName(mp.Mod) + ": " + renderChain(mp.Mod, chain) + ")"
+				}
+				mp.Reportf(site.pos, pathSteps(mp.Mod, chain),
+					"%s.%s can park forever: no %s/SetDeadline in %s or on every caller path into it%s",
+					site.expr, verb, guard, n.DisplayName(mp.Mod), from)
+			}
+		}
+	}
+}
+
+// connFacts scans one body for raw conn IO and deadline guards.
+func connFacts(pass *Pass, body *ast.BlockStmt, conn *types.Interface) *deadlineFacts {
+	f := &deadlineFacts{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Read", "Write", "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+		default:
+			return true
+		}
+		if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); !ok || fn.Pkg() == nil {
+			return true
+		} else if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+			return true
+		}
+		t := pass.TypeOf(sel.X)
+		if t == nil || !types.Implements(t, conn) && !types.Implements(types.NewPointer(t), conn) {
+			return true
+		}
+		switch name {
+		case "Read":
+			f.io = append(f.io, connIOSite{pos: call.Pos(), write: false, expr: types.ExprString(sel.X)})
+		case "Write":
+			f.io = append(f.io, connIOSite{pos: call.Pos(), write: true, expr: types.ExprString(sel.X)})
+		case "SetDeadline":
+			f.guardsRead, f.guardsWrite = true, true
+		case "SetReadDeadline":
+			f.guardsRead = true
+		case "SetWriteDeadline":
+			f.guardsWrite = true
+		}
+		return true
+	})
+	return f
+}
+
+func guardsDirection(f *deadlineFacts, write bool) bool {
+	if f == nil {
+		return false
+	}
+	if write {
+		return f.guardsWrite
+	}
+	return f.guardsRead
+}
+
+// unguardedEntry walks the caller graph backwards from n looking for a
+// path every function of which lacks a matching deadline guard, ending
+// at an entry (a function with no non-test module callers). It returns
+// that entry and the unguarded call chain entry→…→n, or nil when every
+// path into n is guarded. Test callers are skipped: a test harness
+// driving an unexported helper is a controlled environment, and the
+// helper is reported through its production entries instead.
+func unguardedEntry(n *Node, write bool, facts map[*Node]*deadlineFacts) (*Node, []Edge) {
+	type item struct {
+		n     *Node
+		chain []Edge // reversed: edge into n first
+	}
+	seen := map[*Node]bool{n: true}
+	queue := []item{{n: n}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		entry := true
+		for _, e := range it.n.In {
+			caller := e.Caller
+			if caller.Test || !caller.InModule {
+				continue
+			}
+			entry = false
+			if seen[caller] {
+				continue
+			}
+			seen[caller] = true
+			if guardsDirection(facts[caller], write) {
+				continue // this path is guarded; others may not be
+			}
+			queue = append(queue, item{n: caller, chain: append(append([]Edge(nil), it.chain...), e)})
+		}
+		if entry {
+			chain := make([]Edge, 0, len(it.chain))
+			for i := len(it.chain) - 1; i >= 0; i-- {
+				chain = append(chain, it.chain[i])
+			}
+			return it.n, chain
+		}
+	}
+	return nil, nil
+}

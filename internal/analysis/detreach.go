@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// detreachRoots are the determinism roots: the packages whose outputs
+// EXPERIMENTS.md pins byte-for-byte. walltime and globalrand police
+// direct calls with package allowlists; detreach removes the trust those
+// allowlists imply by checking the transitive property instead — a
+// time.Now three packages away is exactly as fatal to reproducibility as
+// one written in sim code, and an allowlisted networked package is only
+// safe while the deterministic pipeline cannot reach it.
+var detreachRoots = []string{
+	"cmd/wearstudy",
+	"internal/study/...",
+	"internal/gen/...",
+}
+
+// DetreachAnalyzer reports every wall-clock or global-rand call the
+// determinism roots can reach through any call chain, with the chain in
+// the diagnostic.
+var DetreachAnalyzer = &Analyzer{
+	Name:      "detreach",
+	Doc:       "wall-clock or global math/rand call reachable from the deterministic pipeline (wearstudy, internal/study, internal/gen), reported with the call chain",
+	RunModule: runDetreach,
+}
+
+// detreachBanned classifies a non-module function as determinism-hostile:
+// the package-level time clock readers (walltime's list) and the
+// package-level math/rand stream draws (globalrand's predicate).
+func detreachBanned(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "" // methods compare instants or draw from seeded streams
+	}
+	switch pkg.Path() {
+	case "time":
+		if walltimeBanned[fn.Name()] {
+			return "time." + fn.Name() + " couples output to the wall clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			return "rand." + fn.Name() + " draws from the process-global stream"
+		}
+	}
+	return ""
+}
+
+func runDetreach(mp *ModulePass) {
+	g := mp.Graph
+	var roots []*Node
+	g.Walk(func(n *Node) {
+		if n.InModule && !n.Test && matchRel(n.Rel, detreachRoots) {
+			roots = append(roots, n)
+		}
+	})
+	reach := g.ReachableFrom(roots)
+
+	// Report once per offending call site: every edge whose caller the
+	// roots reach and whose callee is banned. The chain is the shortest
+	// discovery path to the caller plus the offending call itself.
+	g.Walk(func(caller *Node) {
+		if !reach.Contains(caller) || caller.Test {
+			return
+		}
+		for _, e := range caller.Out {
+			if e.Callee.Fn == nil || e.Callee.InModule {
+				continue
+			}
+			why := detreachBanned(e.Callee.Fn)
+			if why == "" {
+				continue
+			}
+			chain := append(reach.PathTo(caller), e)
+			root := chain[0].Caller
+			mp.Reportf(e.Pos, pathSteps(mp.Mod, chain),
+				"%s and is reachable from determinism root %s: %s; thread simtime/randx values in instead of reaching the clock or global stream",
+				why, root.DisplayName(mp.Mod), renderChain(mp.Mod, chain))
+		}
+	})
+}

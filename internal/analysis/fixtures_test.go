@@ -120,6 +120,124 @@ func checkFixture(t *testing.T, dir, rel string, a *Analyzer) {
 	}
 }
 
+// treeExpectations scans a fixture tree recursively for want markers,
+// keyed by (slash-relative path, line) — the multi-directory analogue of
+// expectations.
+func treeExpectations(t *testing.T, root string) map[string]map[int][]string {
+	t.Helper()
+	out := map[string]map[int][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, wantMarker)
+			if !ok {
+				continue
+			}
+			checks := strings.Fields(rest)
+			if len(checks) == 0 {
+				t.Fatalf("%s:%d: empty want marker", rel, i+1)
+			}
+			byLine := out[rel]
+			if byLine == nil {
+				byLine = map[int][]string{}
+				out[rel] = byLine
+			}
+			byLine[i+1] = append(byLine[i+1], checks...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runTree loads a multi-package fixture tree mounted at the given
+// module path and runs the analyzers over the whole module.
+func runTree(t *testing.T, dir, mount string, as ...*Analyzer) (*Module, []Diagnostic) {
+	t.Helper()
+	m, err := LoadTree(filepath.Join("testdata", dir), mount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := m.Run(as...)
+	if err != nil {
+		t.Fatalf("fixture tree %s failed to type-check: %v", dir, err)
+	}
+	return m, diags
+}
+
+// checkTree asserts an analyzer's diagnostics over a fixture tree match
+// the want markers exactly, keyed by tree-relative path so same-named
+// files in different packages stay distinct. It returns the diagnostics
+// for follow-up assertions on messages and chains.
+func checkTree(t *testing.T, dir, mount string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, diags := runTree(t, dir, mount, a)
+	want := treeExpectations(t, root)
+
+	got := map[string]map[int][]string{}
+	for _, d := range diags {
+		if d.Check == "" || d.Message == "" {
+			t.Errorf("diagnostic with empty check or message: %+v", d)
+		}
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Errorf("diagnostic outside fixture tree: %s", d)
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		byLine := got[rel]
+		if byLine == nil {
+			byLine = map[int][]string{}
+			got[rel] = byLine
+		}
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d.Check)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	keys := map[key]bool{}
+	for f, byLine := range want {
+		for l := range byLine {
+			keys[key{f, l}] = true
+		}
+	}
+	for f, byLine := range got {
+		for l := range byLine {
+			keys[key{f, l}] = true
+		}
+	}
+	for k := range keys {
+		w := append([]string(nil), want[k.file][k.line]...)
+		g := append([]string(nil), got[k.file][k.line]...)
+		sort.Strings(w)
+		sort.Strings(g)
+		if strings.Join(w, ",") != strings.Join(g, ",") {
+			t.Errorf("%s:%d: want checks [%s], got [%s]", k.file, k.line,
+				strings.Join(w, " "), strings.Join(g, " "))
+		}
+	}
+	return diags
+}
+
 func TestWalltimeFixture(t *testing.T) {
 	checkFixture(t, "walltime", "internal/gen/fixture", WalltimeAnalyzer)
 }
@@ -159,6 +277,74 @@ func TestWaitgroupFixture(t *testing.T) {
 
 func TestClosecheckFixture(t *testing.T) {
 	checkFixture(t, "closecheck", "internal/report/fixture", ClosecheckAnalyzer)
+}
+
+// TestDetreachFixture pins the interprocedural clock check: banned
+// calls two hops from a root are flagged with the full chain, and an
+// identical banned call the roots cannot reach stays silent.
+func TestDetreachFixture(t *testing.T) {
+	diags := checkTree(t, "detreach", "internal", DetreachAnalyzer)
+	var stamp *Diagnostic
+	for i := range diags {
+		if strings.Contains(diags[i].Message, "time.Now") {
+			stamp = &diags[i]
+		}
+	}
+	if stamp == nil {
+		t.Fatal("no diagnostic for the time.Now leg")
+	}
+	if len(stamp.Path) < 2 {
+		t.Errorf("want a >=2-hop chain on the time.Now finding, got %d steps: %v", len(stamp.Path), stamp.Path)
+	}
+	wantChain := "internal/study.Pipeline → internal/clockutil.Stamp → time.Now"
+	if !strings.Contains(stamp.Message, wantChain) {
+		t.Errorf("message missing chain %q:\n%s", wantChain, stamp.Message)
+	}
+	if !strings.Contains(stamp.Message, "determinism root internal/study.Pipeline") {
+		t.Errorf("message missing the root attribution: %s", stamp.Message)
+	}
+}
+
+// TestDetreachRootSuppression proves one //wearlint:ignore detreach on
+// the root call site silences every finding whose chain passes through
+// that line.
+func TestDetreachRootSuppression(t *testing.T) {
+	_, diags := runTree(t, "detreachsuppress", "internal", DetreachAnalyzer)
+	if len(diags) != 0 {
+		t.Errorf("root-site directive left %d finding(s): %v", len(diags), diags)
+	}
+}
+
+// TestDeadlineFixture pins the caller-path deadline analysis: own-guard
+// and all-callers-guarded reads stay silent, an unguarded entry and a
+// direction mismatch are flagged.
+func TestDeadlineFixture(t *testing.T) {
+	diags := checkTree(t, "deadline", "internal/mnet", DeadlineAnalyzer)
+	foundEntry := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unguarded entry internal/mnet/wire.Relay") {
+			foundEntry = true
+		}
+	}
+	if !foundEntry {
+		t.Errorf("no diagnostic attributes the leak to wire.Relay: %v", diags)
+	}
+}
+
+// TestLockheldFixture pins the lock-discipline scan, including the
+// cross-package blocking-reachable case and the clean poll/handoff
+// idioms.
+func TestLockheldFixture(t *testing.T) {
+	diags := checkTree(t, "lockheld", "internal/fixture", LockheldAnalyzer)
+	foundChain := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "blockee.Park") && strings.Contains(d.Message, "channel operations") {
+			foundChain = true
+		}
+	}
+	if !foundChain {
+		t.Errorf("no diagnostic explains the cross-package blocking chain: %v", diags)
+	}
 }
 
 // TestSuppressFixture drives the directive end to end: same-line,

@@ -22,11 +22,27 @@ type ignoreKey struct {
 
 type ignoreIndex map[ignoreKey][]string
 
-// collectIgnores scans a unit's comments for suppression directives.
-// Malformed directives (missing check name or reason) are themselves
+// ignoreIndex builds (once per Module) the module-wide suppression index
+// and appends the malformed-directive diagnostics to diags. Caching the
+// index keeps repeat Runs from re-scanning comments while still
+// re-reporting malformed directives each Run.
+func (m *Module) ignoreIndex(diags *[]Diagnostic) ignoreIndex {
+	if m.ign == nil {
+		var malformed []Diagnostic
+		m.ign = make(ignoreIndex)
+		for _, u := range m.Units {
+			collectIgnores(m.Fset, u.Files, &malformed, m.ign)
+		}
+		m.ignMalformed = malformed
+	}
+	*diags = append(*diags, m.ignMalformed...)
+	return m.ign
+}
+
+// collectIgnores scans a unit's comments for suppression directives into
+// ix. Malformed directives (missing check name or reason) are themselves
 // reported under the "ignore" pseudo-check, which cannot be suppressed.
-func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) ignoreIndex {
-	ix := make(ignoreIndex)
+func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic, ix ignoreIndex) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -49,12 +65,13 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic)
 			}
 		}
 	}
-	return ix
 }
 
 // filter drops suppressed diagnostics from diags[from:]. A diagnostic is
 // suppressed when a matching directive sits on its own line or the line
-// above.
+// above — the reported position, or, for path-carrying interprocedural
+// diagnostics, any call site along the chain. In particular an ignore on
+// the root call site suppresses the whole reported chain.
 func (ix ignoreIndex) filter(diags []Diagnostic, from int) []Diagnostic {
 	if len(ix) == 0 {
 		return diags
@@ -73,9 +90,21 @@ func (ix ignoreIndex) matches(d Diagnostic) bool {
 	if d.Check == "ignore" {
 		return false
 	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, check := range ix[ignoreKey{file: d.Pos.Filename, line: line}] {
-			if check == d.Check || check == "all" {
+	if ix.matchesAt(d.Check, d.Pos) {
+		return true
+	}
+	for _, step := range d.Path {
+		if ix.matchesAt(d.Check, step.Pos) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix ignoreIndex) matchesAt(check string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range ix[ignoreKey{file: pos.Filename, line: line}] {
+			if name == check || name == "all" {
 				return true
 			}
 		}

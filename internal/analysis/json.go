@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable diagnostics for CI: one JSON array, fields in fixed
+// struct order, paths module-relative with forward slashes, diagnostics
+// already position-sorted by Run — so the bytes are identical run to run
+// and suitable for problem-matchers and artifact diffing.
+
+type jsonDiagnostic struct {
+	Check   string     `json:"check"`
+	File    string     `json:"file"`
+	Line    int        `json:"line"`
+	Col     int        `json:"col"`
+	Message string     `json:"message"`
+	Path    []jsonStep `json:"path,omitempty"`
+}
+
+type jsonStep struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// WriteJSON emits diagnostics as indented JSON. root, when non-empty,
+// is stripped from filenames so output is machine-relative, not
+// checkout-relative.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			Check:   d.Check,
+			File:    relSlash(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Message: d.Message,
+		}
+		for _, step := range d.Path {
+			jd.Path = append(jd.Path, jsonStep{
+				Func: step.Func,
+				File: relSlash(root, step.Pos.Filename),
+				Line: step.Pos.Line,
+				Col:  step.Pos.Column,
+			})
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// relSlash renders a filename relative to root with forward slashes.
+func relSlash(root, name string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return filepath.ToSlash(name)
+}

@@ -23,6 +23,18 @@ type Module struct {
 	Units []*Unit
 
 	imp *importerState
+
+	// passes caches the full type-check of each unit so every analyzer —
+	// and every repeat Run — shares one Pass per unit instead of
+	// re-walking the type checker.
+	passes   map[*Unit]*Pass
+	passErrs map[*Unit][]error
+	// graph is the lazily built module-wide call graph.
+	graph *CallGraph
+	// ign caches the module-wide suppression index; ignMalformed keeps
+	// the malformed-directive diagnostics to re-emit on every Run.
+	ign          ignoreIndex
+	ignMalformed []Diagnostic
 }
 
 // Unit is one lintable package: either a package proper together with its
@@ -99,6 +111,46 @@ func LoadDir(dir, rel string) (*Module, error) {
 	if len(m.Units) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
+	return m, nil
+}
+
+// LoadTree builds a multi-package module from a fixture tree: every
+// directory under root that holds .go files becomes a unit mounted at
+// mount/<subpath> (mount itself for root's own files). The cross-package
+// fixture harness uses this to exercise call-graph edges between fake
+// packages that import each other through the "wearwild/" module path.
+func LoadTree(root, mount string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: root, Name: "wearwild", Fset: token.NewFileSet()}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		at := mount
+		if rel != "." {
+			at = mount + "/" + filepath.ToSlash(rel)
+		}
+		return m.loadDir(path, at)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Units) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files under %s", root)
+	}
+	sort.Slice(m.Units, func(i, j int) bool {
+		if m.Units[i].Rel != m.Units[j].Rel {
+			return m.Units[i].Rel < m.Units[j].Rel
+		}
+		return m.Units[i].Name < m.Units[j].Name
+	})
 	return m, nil
 }
 

@@ -1,0 +1,30 @@
+// Package alpha is the caller side of the call-graph fixture: one
+// static cross-package call, one interface dispatch, one method value
+// called through a func variable.
+package alpha
+
+import "wearwild/internal/fixture/beta"
+
+// Doer mirrors beta.Impl's method set. The graph resolves calls through
+// it by name and signature, not by a proven implements relation — the
+// over-approximation under test.
+type Doer interface {
+	Do(n int) int
+}
+
+// Direct is a plain cross-package static call.
+func Direct() int {
+	return beta.Helper()
+}
+
+// UseIface dispatches through the interface.
+func UseIface(d Doer) int {
+	return d.Do(1)
+}
+
+// TakeValue takes a method value and calls it through a func variable.
+func TakeValue() int {
+	v := beta.Impl{}
+	f := v.Do
+	return f(2)
+}

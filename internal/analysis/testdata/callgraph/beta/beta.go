@@ -1,0 +1,23 @@
+// Package beta is the callee side of the call-graph fixture.
+package beta
+
+// Helper is the static-call target; its private callee extends the
+// chain one hop for path reconstruction.
+func Helper() int {
+	return 40 + two()
+}
+
+func two() int { return 2 }
+
+// Impl's Do matches alpha.Doer's method by name and signature.
+type Impl struct{}
+
+// Do satisfies alpha.Doer.
+func (Impl) Do(n int) int { return n + 1 }
+
+// Other's Do shares the name but not the signature; interface dispatch
+// must not resolve to it.
+type Other struct{}
+
+// Do is a decoy for name-only matching.
+func (Other) Do(s string) string { return s }

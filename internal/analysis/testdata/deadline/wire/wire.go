@@ -1,0 +1,29 @@
+// Package wire drives pipe's helpers; the guards here (or their
+// absence) decide the verdict on pipe's unguarded reads.
+package wire
+
+import (
+	"net"
+	"time"
+
+	"wearwild/internal/mnet/pipe"
+)
+
+// Run arms a full deadline before handing the conn down, so every path
+// into pipe.Helper is guarded.
+func Run(c net.Conn) error {
+	if err := c.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	_, err := pipe.Helper(c, buf)
+	return err
+}
+
+// Relay never arms a deadline: the read it reaches in pipe.Leaky is
+// attributed to this entry.
+func Relay(c net.Conn) error {
+	buf := make([]byte, 1)
+	_, err := pipe.Leaky(c, buf)
+	return err
+}

@@ -1,0 +1,29 @@
+// Package clockutil mounts at internal/clockutil, outside the
+// determinism roots: only the calls the roots can reach may be flagged.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is reachable from study.Pipeline: its clock read is a finding.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want detreach
+}
+
+// Draw is reachable too: the global-stream draw is a finding.
+func Draw() int {
+	return rand.Intn(6) // want detreach
+}
+
+// Seeded constructs its own stream: rand.New* is not banned.
+func Seeded() int {
+	return rand.New(rand.NewSource(1)).Intn(6)
+}
+
+// Unused is not reachable from any root: its clock read stays silent,
+// proving the check is reachability-based, not package-based.
+func Unused() int64 {
+	return time.Now().UnixNano()
+}

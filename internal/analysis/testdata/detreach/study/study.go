@@ -1,0 +1,10 @@
+// Package study mounts at internal/study: a determinism root. The
+// banned calls it reaches sit two hops away in clockutil.
+package study
+
+import "wearwild/internal/clockutil"
+
+// Pipeline is the root entry point of the fixture chain.
+func Pipeline() (int64, int) {
+	return clockutil.Stamp(), clockutil.Draw() + clockutil.Seeded()
+}

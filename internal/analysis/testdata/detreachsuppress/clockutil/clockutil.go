@@ -1,0 +1,18 @@
+// Package clockutil holds the banned calls; no directive appears here,
+// so any surviving diagnostic means root-site suppression failed.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the clock; its finding is suppressed at the root.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Draw draws from the global stream; suppressed at the root too.
+func Draw() int {
+	return rand.Intn(6)
+}

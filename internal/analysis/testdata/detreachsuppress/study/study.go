@@ -1,0 +1,13 @@
+// Package study mirrors the detreach fixture, but suppresses at the
+// ROOT call site: one directive on the first hop must silence every
+// finding whose chain passes through it.
+package study
+
+import "wearwild/internal/clockutil"
+
+// Pipeline reaches both banned calls through the line below; the
+// directive there suppresses the whole chain.
+func Pipeline() (int64, int) {
+	//wearlint:ignore detreach fixture proves root-site chain suppression
+	return clockutil.Stamp(), clockutil.Draw()
+}

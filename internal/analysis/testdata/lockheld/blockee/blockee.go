@@ -1,0 +1,15 @@
+// Package blockee provides cross-package callees for the lockheld
+// fixture: one that parks, one that never blocks.
+package blockee
+
+var ch = make(chan int)
+
+// Park blocks on a channel receive.
+func Park() int {
+	return <-ch
+}
+
+// Calc never blocks.
+func Calc(n int) int {
+	return n * 2
+}

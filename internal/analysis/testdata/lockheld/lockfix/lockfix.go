@@ -1,0 +1,78 @@
+// Package lockfix exercises the lockheld scanner: parks under a held
+// mutex (direct, via stdlib leaves, and via a cross-package chain) and
+// the clean idioms that must stay silent.
+package lockfix
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"wearwild/internal/fixture/blockee"
+)
+
+var (
+	mu sync.Mutex
+	ch = make(chan int)
+)
+
+// SendUnderLock parks on a channel send while holding mu.
+func SendUnderLock() {
+	mu.Lock()
+	ch <- 1 // want lockheld
+	mu.Unlock()
+}
+
+// SleepUnderLock defers the unlock, so the lock is held across the
+// sleep.
+func SleepUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockheld
+}
+
+// DialUnderLock performs net I/O while holding mu.
+func DialUnderLock() {
+	mu.Lock()
+	conn, err := net.Dial("tcp", "127.0.0.1:1") // want lockheld
+	mu.Unlock()
+	if err == nil {
+		conn.Close()
+	}
+}
+
+// ChainUnderLock reaches a channel op through another package.
+func ChainUnderLock() int {
+	mu.Lock()
+	n := blockee.Park() // want lockheld
+	mu.Unlock()
+	return n
+}
+
+// PollUnderLock uses a select with a default: a poll, not a park.
+func PollUnderLock() {
+	mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	mu.Unlock()
+}
+
+// UnlockThenSend releases before blocking.
+func UnlockThenSend() {
+	mu.Lock()
+	x := blockee.Calc(1)
+	mu.Unlock()
+	ch <- x
+}
+
+// SpawnUnderLock's literal runs on its own goroutine: the send inside
+// is not under this function's lock.
+func SpawnUnderLock() {
+	mu.Lock()
+	go func() {
+		ch <- 2
+	}()
+	mu.Unlock()
+}

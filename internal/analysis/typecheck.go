@@ -22,6 +22,7 @@ type importerState struct {
 	cache  map[string]*types.Package
 	active map[string]bool
 	writer *types.Interface
+	conn   *types.Interface
 }
 
 func (m *Module) importer() *importerState {
@@ -132,17 +133,51 @@ func (s *importerState) ioWriter() *types.Interface {
 	if s.writer != nil {
 		return s.writer
 	}
-	pkg, err := s.Import("io")
+	s.writer = s.namedInterface("io", "Writer")
+	return s.writer
+}
+
+// netConn returns the net.Conn interface type. Because the importer is
+// shared by every unit's type check, the returned object is identical to
+// the net.Conn any unit's type info refers to, so types.Implements works
+// module-wide.
+func (s *importerState) netConn() *types.Interface {
+	if s.conn != nil {
+		return s.conn
+	}
+	s.conn = s.namedInterface("net", "Conn")
+	return s.conn
+}
+
+// namedInterface resolves an interface type by package path and name.
+func (s *importerState) namedInterface(path, name string) *types.Interface {
+	pkg, err := s.Import(path)
 	if err != nil {
 		return nil
 	}
-	obj, ok := pkg.Scope().Lookup("Writer").(*types.TypeName)
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
 	if !ok {
 		return nil
 	}
 	iface, _ := obj.Type().Underlying().(*types.Interface)
-	s.writer = iface
 	return iface
+}
+
+// pass returns the unit's type-checked Pass, running the type check on
+// first use and caching it. Every analyzer — intraprocedural checks, the
+// call-graph build, repeat Runs — shares the same Pass per unit.
+func (m *Module) pass(u *Unit) (*Pass, []error) {
+	if p, ok := m.passes[u]; ok {
+		return p, m.passErrs[u]
+	}
+	p, errs := m.typecheck(u)
+	if m.passes == nil {
+		m.passes = make(map[*Unit]*Pass)
+		m.passErrs = make(map[*Unit][]error)
+	}
+	m.passes[u] = p
+	m.passErrs[u] = errs
+	return p, errs
 }
 
 // typecheck runs the full (bodies included) type check over one lint unit

@@ -324,11 +324,17 @@ func (p *Proxy) drain() {
 		return
 	case <-t.C:
 	}
+	// Steal the live set under the lock, force outside it: force closes
+	// sockets, and a handler exiting on that close calls untrack, which
+	// needs flowMu — holding it here would stall every handler exit on
+	// this socket teardown.
 	p.flowMu.Lock()
-	for f := range p.flows {
+	survivors := p.flows
+	p.flows = make(map[*flow]struct{})
+	p.flowMu.Unlock()
+	for f := range survivors {
 		f.force()
 	}
-	p.flowMu.Unlock()
 	<-handlersDone
 }
 
