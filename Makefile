@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-json fuzz-smoke check
+.PHONY: build test race lint lint-json fuzz-smoke bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -29,5 +29,12 @@ lint-json:
 # (httplog FuzzReadHead, sni FuzzReadClientHello).
 fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/mnet/...
+
+# Small-scale end-to-end benchmark: emits BENCH.json (timings, allocs,
+# sequential-vs-parallel determinism cross-check) and fails when a phase
+# regressed more than 2x against the committed BENCH_PR4.json baseline.
+bench-smoke:
+	$(GO) run ./cmd/wearbench -small -bench-json -bench-baseline BENCH_PR4.json -o BENCH.json
+	@cat BENCH.json
 
 check: build lint race fuzz-smoke

@@ -9,6 +9,8 @@ package wearwild
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -80,8 +82,35 @@ func BenchmarkStudyFull(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyFullParallel sweeps the analysis worker bound over the
+// same dataset. Results are byte-identical at every setting (see
+// TestParallelEquivalence); the sweep quantifies the shard-and-merge
+// speedup on this machine's cores.
+func BenchmarkStudyFullParallel(b *testing.B) {
+	benchSetup(b)
+	sweep := []int{1, 2, runtime.NumCPU()}
+	for _, workers := range sweep {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			s, err := core.NewStudy(benchDS, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFig2aAdoption(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.Adoption
 	for i := 0; i < b.N; i++ {
@@ -93,6 +122,7 @@ func BenchmarkFig2aAdoption(b *testing.B) {
 
 func BenchmarkFig2bRetention(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.Retention
 	for i := 0; i < b.N; i++ {
@@ -104,6 +134,7 @@ func BenchmarkFig2bRetention(b *testing.B) {
 
 func BenchmarkFig3aHourly(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.HourlyPattern
 	for i := 0; i < b.N; i++ {
@@ -114,6 +145,7 @@ func BenchmarkFig3aHourly(b *testing.B) {
 
 func BenchmarkFig3bActivity(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.ActivityDistributions
 	for i := 0; i < b.N; i++ {
@@ -125,6 +157,7 @@ func BenchmarkFig3bActivity(b *testing.B) {
 
 func BenchmarkFig3cTransactions(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.Transactions
 	for i := 0; i < b.N; i++ {
@@ -136,6 +169,7 @@ func BenchmarkFig3cTransactions(b *testing.B) {
 
 func BenchmarkFig3dCorrelation(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.ActivityCoupling
 	for i := 0; i < b.N; i++ {
@@ -146,6 +180,7 @@ func BenchmarkFig3dCorrelation(b *testing.B) {
 
 func BenchmarkFig4aOwnersVsRest(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.OwnersVsRest
 	for i := 0; i < b.N; i++ {
@@ -157,6 +192,7 @@ func BenchmarkFig4aOwnersVsRest(b *testing.B) {
 
 func BenchmarkFig4bDeviceShare(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.DeviceShare
 	for i := 0; i < b.N; i++ {
@@ -167,6 +203,7 @@ func BenchmarkFig4bDeviceShare(b *testing.B) {
 
 func BenchmarkFig4cDisplacement(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.Mobility
 	for i := 0; i < b.N; i++ {
@@ -178,6 +215,7 @@ func BenchmarkFig4cDisplacement(b *testing.B) {
 
 func BenchmarkFig4dMobilityActivity(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.MobilityCoupling
 	for i := 0; i < b.N; i++ {
@@ -188,6 +226,7 @@ func BenchmarkFig4dMobilityActivity(b *testing.B) {
 
 func BenchmarkFig5aAppPopularity(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out *core.Results
 	for i := 0; i < b.N; i++ {
@@ -200,6 +239,7 @@ func BenchmarkFig5aAppPopularity(b *testing.B) {
 
 func BenchmarkFig5bAppUsage(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out *core.Results
 	for i := 0; i < b.N; i++ {
@@ -212,6 +252,7 @@ func BenchmarkFig5bAppUsage(b *testing.B) {
 
 func BenchmarkFig6Categories(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out *core.Results
 	for i := 0; i < b.N; i++ {
@@ -224,6 +265,7 @@ func BenchmarkFig6Categories(b *testing.B) {
 
 func BenchmarkFig7PerUsage(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out *core.Results
 	for i := 0; i < b.N; i++ {
@@ -236,6 +278,7 @@ func BenchmarkFig7PerUsage(b *testing.B) {
 
 func BenchmarkFig8ThirdParty(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out *core.Results
 	for i := 0; i < b.N; i++ {
@@ -247,6 +290,7 @@ func BenchmarkFig8ThirdParty(b *testing.B) {
 
 func BenchmarkTakeawayApps(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out *core.Results
 	for i := 0; i < b.N; i++ {
@@ -258,6 +302,7 @@ func BenchmarkTakeawayApps(b *testing.B) {
 
 func BenchmarkThroughDevice(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var out core.ThroughDevice
 	for i := 0; i < b.N; i++ {
@@ -346,6 +391,7 @@ func BenchmarkCodecBinaryDecode(b *testing.B) {
 // what counts as one usage.
 func benchSessionize(b *testing.B, gap time.Duration) {
 	recs := benchProxyRecords(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var usages int
 	for i := 0; i < b.N; i++ {
@@ -365,6 +411,7 @@ func BenchmarkAttribute(b *testing.B) {
 	recs := benchProxyRecords(b)
 	usages := sessions.Sessionize(recs, time.Minute)
 	resolver := appid.NewResolver(apps.DefaultWithTail())
+	b.ReportAllocs()
 	b.ResetTimer()
 	var attributed int
 	for i := 0; i < b.N; i++ {
@@ -394,6 +441,7 @@ func BenchmarkWearlintModule(b *testing.B) {
 		b.Fatal(err)
 	}
 	cold := time.Since(start)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mod.Run(); err != nil {
@@ -412,6 +460,7 @@ func BenchmarkAttributeAnchor(b *testing.B) {
 	usages := sessions.Sessionize(recs, time.Minute)
 	resolver := appid.NewResolver(apps.DefaultWithTail())
 	vote := resolver.Attribute(usages)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var anchor []appid.Attributed
 	for i := 0; i < b.N; i++ {

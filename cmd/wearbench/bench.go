@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"wearwild"
+	"wearwild/internal/core"
+)
+
+// BenchReport is the machine-readable output of -bench-json: wall-clock
+// and allocation figures for the generate and study phases plus each
+// per-figure analysis, and the determinism cross-check between the
+// sequential (Workers=1) and parallel pipelines. CI commits one of these
+// as the tracked baseline and fails the bench-smoke job on regression.
+type BenchReport struct {
+	Schema     int    `json:"schema"`
+	Seed       uint64 `json:"seed"`
+	Small      bool   `json:"small"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+
+	// Timings in milliseconds, allocations in bytes (TotalAlloc deltas).
+	GenerateMs         float64 `json:"generate_ms"`
+	GenerateAllocBytes uint64  `json:"generate_alloc_bytes"`
+	StudySeqMs         float64 `json:"study_sequential_ms"`
+	StudySeqAllocBytes uint64  `json:"study_sequential_alloc_bytes"`
+	StudyParMs         float64 `json:"study_parallel_ms"`
+	StudyParAllocBytes uint64  `json:"study_parallel_alloc_bytes"`
+	// SpeedupStudy is sequential/parallel wall-clock (>1 means faster).
+	SpeedupStudy float64 `json:"speedup_study"`
+	// Deterministic records whether the sequential and parallel Results
+	// serialised to identical JSON.
+	Deterministic bool `json:"deterministic"`
+
+	Figures map[string]float64 `json:"figure_ms"`
+
+	MetricsPass  int `json:"metrics_pass"`
+	MetricsTotal int `json:"metrics_total"`
+}
+
+// allocSnapshot returns cumulative heap bytes allocated so far.
+func allocSnapshot() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// timed runs fn and returns its wall-clock milliseconds and allocation
+// delta.
+func timed(fn func() error) (ms float64, allocBytes uint64, err error) {
+	a0 := allocSnapshot()
+	t0 := time.Now()
+	err = fn()
+	ms = float64(time.Since(t0).Nanoseconds()) / 1e6
+	allocBytes = allocSnapshot() - a0
+	return ms, allocBytes, err
+}
+
+// runBenchJSON executes the benchmark protocol and writes the report.
+func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, workers int, baselinePath string) error {
+	rep := &BenchReport{
+		Schema:     1,
+		Seed:       seed,
+		Small:      small,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Figures:    map[string]float64{},
+	}
+
+	var ds *wearwild.Dataset
+	var err error
+	rep.GenerateMs, rep.GenerateAllocBytes, err = timed(func() error {
+		ds, err = wearwild.Generate(cfg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	seqCfg := core.DefaultConfig()
+	seqCfg.Workers = 1
+	parCfg := core.DefaultConfig()
+	parCfg.Workers = workers
+
+	var seqRes, parRes *wearwild.Results
+	rep.StudySeqMs, rep.StudySeqAllocBytes, err = timed(func() error {
+		seqRes, err = wearwild.RunStudyWith(ds, seqCfg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.StudyParMs, rep.StudyParAllocBytes, err = timed(func() error {
+		parRes, err = wearwild.RunStudyWith(ds, parCfg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if rep.StudyParMs > 0 {
+		rep.SpeedupStudy = rep.StudySeqMs / rep.StudyParMs
+	}
+
+	seqJSON, err := json.Marshal(seqRes)
+	if err != nil {
+		return err
+	}
+	parJSON, err := json.Marshal(parRes)
+	if err != nil {
+		return err
+	}
+	rep.Deterministic = string(seqJSON) == string(parJSON)
+
+	study, err := core.NewStudy(ds, parCfg)
+	if err != nil {
+		return err
+	}
+	figures := []struct {
+		name string
+		fn   func()
+	}{
+		{"fig2a_adoption", func() { study.ComputeFig2a() }},
+		{"fig2b_retention", func() { study.ComputeFig2b() }},
+		{"fig3a_hourly", func() { study.ComputeFig3a() }},
+		{"fig3b_activity", func() { study.ComputeFig3b() }},
+		{"fig3c_transactions", func() { study.ComputeFig3c() }},
+		{"fig3d_coupling", func() { study.ComputeFig3d() }},
+		{"fig4a_owners_vs_rest", func() { study.ComputeFig4a() }},
+		{"fig4b_device_share", func() { study.ComputeFig4b() }},
+		{"fig4c_mobility", func() { study.ComputeFig4c() }},
+		{"fig5_8_apps", func() { study.ComputeAppFigures() }},
+		{"through_device", func() { study.ComputeThroughDevice() }},
+	}
+	for _, f := range figures {
+		ms, _, _ := timed(func() error { f.fn(); return nil })
+		rep.Figures[f.name] = ms
+	}
+
+	for _, e := range wearwild.Evaluate(parRes) {
+		for _, m := range e.Metrics {
+			rep.MetricsTotal++
+			if m.OK() {
+				rep.MetricsPass++
+			}
+		}
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if !rep.Deterministic {
+		return fmt.Errorf("sequential and parallel Results differ — determinism contract broken")
+	}
+	if baselinePath != "" {
+		return checkBaseline(rep, baselinePath)
+	}
+	return nil
+}
+
+// checkBaseline fails when a timing regressed more than 2x against the
+// committed baseline. Only the two end-to-end phases gate: per-figure
+// timings are informational (too noisy at -small scale on shared CI).
+func checkBaseline(rep *BenchReport, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	const maxRegression = 2.0
+	check := func(what string, now, then float64) error {
+		if then > 0 && now > then*maxRegression {
+			return fmt.Errorf("%s regressed %.1fx (%.0fms vs baseline %.0fms, limit %.1fx)",
+				what, now/then, now, then, maxRegression)
+		}
+		return nil
+	}
+	if err := check("generate", rep.GenerateMs, base.GenerateMs); err != nil {
+		return err
+	}
+	return check("study", rep.StudyParMs, base.StudyParMs)
+}

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	wearbench [-seed 1234] [-small] [-markdown] [-o EXPERIMENTS.md]
+//	wearbench -small -bench-json [-workers N] [-bench-baseline BENCH_PR4.json]
+//
+// -bench-json replaces the report with a machine-readable benchmark of
+// the pipeline (timings, allocations, sequential-vs-parallel speedup and
+// determinism cross-check); -bench-baseline additionally fails the run
+// when a phase regressed more than 2x against a committed baseline.
 package main
 
 import (
@@ -22,16 +28,35 @@ func main() {
 	log.SetPrefix("wearbench: ")
 
 	var (
-		seed     = flag.Uint64("seed", 1234, "generation seed")
-		small    = flag.Bool("small", false, "use the fast small-scale configuration")
-		markdown = flag.Bool("markdown", false, "emit markdown instead of the terminal table")
-		outPath  = flag.String("o", "", "write output to a file instead of stdout")
+		seed      = flag.Uint64("seed", 1234, "generation seed")
+		small     = flag.Bool("small", false, "use the fast small-scale configuration")
+		markdown  = flag.Bool("markdown", false, "emit markdown instead of the terminal table")
+		outPath   = flag.String("o", "", "write output to a file instead of stdout")
+		benchJSON = flag.Bool("bench-json", false, "emit a machine-readable benchmark report instead of the study report")
+		baseline  = flag.String("bench-baseline", "", "with -bench-json: baseline report to gate regressions against")
+		workers   = flag.Int("workers", 0, "analysis worker bound (0 = one per CPU); results are identical at any setting")
 	)
 	flag.Parse()
 
 	cfg := wearwild.DefaultConfig(*seed)
 	if *small {
 		cfg = wearwild.SmallConfig(*seed)
+	}
+
+	if *benchJSON {
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := runBenchJSON(out, cfg, *seed, *small, *workers, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	t0 := time.Now()

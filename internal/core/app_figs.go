@@ -6,22 +6,24 @@ import (
 
 	"wearwild/internal/mnet/devicedb"
 	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/subs"
+	"wearwild/internal/shard"
 	"wearwild/internal/simtime"
 	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
 
 	"wearwild/internal/gen/apps"
+	"wearwild/internal/study/appid"
 	"wearwild/internal/study/fingerprint"
-	"wearwild/internal/study/sessions"
 )
 
 // appFigures computes Figs 5–8 and the §4.3 app takeaways from the
-// sessionised, attributed wearable traffic.
-func (s *Study) appFigures(res *Results) {
-	usages := sessions.Sessionize(s.wearRecs, s.cfg.SessionGap)
-	attributed := s.resolver.Attribute(usages)
-
+// sessionised, attributed wearable traffic. The per-usage Welford
+// summaries are order-sensitive, so this aggregation walks attributed in
+// its canonical (session-sorted) order; only the host-classification
+// pass for Fig 8 fans out, with exact merges.
+func (s *Study) appFigures(res *Results, attributed []appid.Attributed) {
 	type appAgg struct {
 		app        *apps.App
 		usageCount float64
@@ -186,25 +188,49 @@ func (s *Study) appFigures(res *Results) {
 	}
 	sort.SliceStable(res.Fig6, func(i, j int) bool { return res.Fig6[i].UsersSharePct > res.Fig6[j].UsersSharePct })
 
-	// Fig 8: transaction categories over all wearable records.
+	// Fig 8: transaction categories over all wearable records. Host
+	// classification dominates this pass, so it fans out per shard; the
+	// merged counts are integer sums over disjoint user sets, hence exact.
 	type kindAgg struct {
 		dayUsers map[simtime.Day]map[subs.IMSI]struct{}
 		tx       float64
 		bytes    float64
 	}
+	kindParts := shard.Map(s.wearShards, s.workers(), func(_ int, recs []proxylog.Record) *[apps.NumDomainKinds]kindAgg {
+		var ks [apps.NumDomainKinds]kindAgg
+		for i := range ks {
+			ks[i].dayUsers = make(map[simtime.Day]map[subs.IMSI]struct{})
+		}
+		for _, rec := range recs {
+			k := s.resolver.KindOfHost(rec.Host)
+			d := simtime.DayOf(rec.Time)
+			if ks[k].dayUsers[d] == nil {
+				ks[k].dayUsers[d] = make(map[subs.IMSI]struct{})
+			}
+			ks[k].dayUsers[d][rec.IMSI] = struct{}{}
+			ks[k].tx++
+			ks[k].bytes += float64(rec.Bytes())
+		}
+		return &ks
+	})
 	var kinds [apps.NumDomainKinds]kindAgg
 	for i := range kinds {
 		kinds[i].dayUsers = make(map[simtime.Day]map[subs.IMSI]struct{})
 	}
-	for _, rec := range s.wearRecs {
-		k := s.resolver.KindOfHost(rec.Host)
-		d := simtime.DayOf(rec.Time)
-		if kinds[k].dayUsers[d] == nil {
-			kinds[k].dayUsers[d] = make(map[subs.IMSI]struct{})
+	for _, part := range kindParts {
+		for i := range kinds {
+			kinds[i].tx += part[i].tx
+			kinds[i].bytes += part[i].bytes
+			for d, set := range part[i].dayUsers {
+				if kinds[i].dayUsers[d] == nil {
+					kinds[i].dayUsers[d] = set
+					continue
+				}
+				for u := range set {
+					kinds[i].dayUsers[d][u] = struct{}{}
+				}
+			}
 		}
-		kinds[k].dayUsers[d][rec.IMSI] = struct{}{}
-		kinds[k].tx++
-		kinds[k].bytes += float64(rec.Bytes())
 	}
 	var totKindUsers, totKindTx, totKindBytes float64
 	kindUsers := make([]float64, apps.NumDomainKinds)
@@ -267,13 +293,13 @@ func (s *Study) throughDevice(res *Results) {
 	for _, d := range dets {
 		detected[d.IMSI] = struct{}{}
 	}
-	tdMob := s.analyzer.Collect(s.ds.MME.Records, simtime.Detail(), func(r mme.Record) bool {
+	tdMob := s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), func(r mme.Record) bool {
 		if _, ok := detected[r.IMSI]; !ok {
 			return false
 		}
 		m, ok := s.ds.Devices.Lookup(r.IMEI)
 		return ok && m.Class == devicedb.Smartphone
-	})
+	}, s.workers())
 	var disp stats.Summary
 	for _, u := range sortx.Keys(tdMob) {
 		disp.Add(tdMob[u].MeanDailyMaxKm())

@@ -1,20 +1,55 @@
 package core
 
+import (
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/simtime"
+
+	"wearwild/internal/study/mobmetrics"
+	"wearwild/internal/study/sessions"
+	"wearwild/internal/study/usermetrics"
+)
+
 // Per-figure entry points. Run computes everything at once; these wrappers
 // compute one figure in isolation so the benchmark harness can time and
-// regenerate each of the paper's figures independently.
+// regenerate each of the paper's figures independently. Each builds just
+// the shared aggregates its figure needs (Run's prepare computes them once
+// for all figures instead).
+
+// collectActs computes the per-subscriber wearable activity aggregate.
+func (s *Study) collectActs() map[subs.IMSI]*usermetrics.Activity {
+	return usermetrics.CollectSharded(s.wearShards, nil, s.workers())
+}
+
+// udrTotals computes the per-subscriber volume totals over the detail
+// window.
+func (s *Study) udrTotals() map[subs.IMSI]*usermetrics.Totals {
+	return usermetrics.TotalsFromUDRSharded(s.udrShards, simtime.Detail(), s.ds.Devices.IsWearable, s.workers())
+}
+
+// mobilityPrep computes the mobility portion of the shared aggregates.
+func (s *Study) mobilityPrep() *prep {
+	w := s.workers()
+	return &prep{
+		acts:    s.collectActs(),
+		wearMob: s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isWearDev, w),
+		restMob: s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isRestPhone, w),
+		txSectors: mobmetrics.TxSectorsSharded(s.mmeShards, s.wearShards, s.isWearDev,
+			func(r proxylog.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }, w),
+	}
+}
 
 // ComputeFig2a computes the adoption series.
 func (s *Study) ComputeFig2a() Adoption {
 	var r Results
-	s.adoption(&r)
+	s.adoption(&r, s.wearablePresence())
 	return r.Fig2a
 }
 
 // ComputeFig2b computes the retention comparison.
 func (s *Study) ComputeFig2b() Retention {
 	var r Results
-	s.retention(&r)
+	s.retention(&r, s.wearablePresence())
 	return r.Fig2b
 }
 
@@ -28,42 +63,42 @@ func (s *Study) ComputeFig3a() HourlyPattern {
 // ComputeFig3b computes the activity distributions.
 func (s *Study) ComputeFig3b() ActivityDistributions {
 	var r Results
-	s.activityDistributions(&r)
+	s.activityDistributions(&r, s.collectActs())
 	return r.Fig3b
 }
 
 // ComputeFig3c computes the transaction statistics.
 func (s *Study) ComputeFig3c() Transactions {
 	var r Results
-	s.transactions(&r)
+	s.transactions(&r, s.collectActs())
 	return r.Fig3c
 }
 
 // ComputeFig3d computes the hours-activity coupling.
 func (s *Study) ComputeFig3d() ActivityCoupling {
 	var r Results
-	s.activityCoupling(&r)
+	s.activityCoupling(&r, s.collectActs())
 	return r.Fig3d
 }
 
 // ComputeFig4a computes the owners-vs-rest volume comparison.
 func (s *Study) ComputeFig4a() OwnersVsRest {
 	var r Results
-	s.ownersVsRest(&r)
+	s.ownersVsRest(&r, s.udrTotals())
 	return r.Fig4a
 }
 
 // ComputeFig4b computes the wearable device share.
 func (s *Study) ComputeFig4b() DeviceShare {
 	var r Results
-	s.deviceShare(&r)
+	s.deviceShare(&r, s.udrTotals())
 	return r.Fig4b
 }
 
 // ComputeFig4c computes mobility (and, as a byproduct, Fig 4d).
 func (s *Study) ComputeFig4c() (Mobility, MobilityCoupling) {
 	var r Results
-	s.mobility(&r)
+	s.mobility(&r, s.mobilityPrep())
 	return r.Fig4c, r.Fig4d
 }
 
@@ -71,7 +106,8 @@ func (s *Study) ComputeFig4c() (Mobility, MobilityCoupling) {
 // §4.3 takeaways), which share one sessionisation pass.
 func (s *Study) ComputeAppFigures() *Results {
 	var r Results
-	s.appFigures(&r)
+	usages := sessions.SessionizeSharded(s.wearShards, s.cfg.SessionGap, s.workers())
+	s.appFigures(&r, s.resolver.AttributeParallel(usages, s.workers()))
 	return &r
 }
 
@@ -79,7 +115,7 @@ func (s *Study) ComputeAppFigures() *Results {
 // displacement baseline comes from the mobility analysis.
 func (s *Study) ComputeThroughDevice() ThroughDevice {
 	var r Results
-	s.mobility(&r)
+	s.mobility(&r, s.mobilityPrep())
 	s.throughDevice(&r)
 	return r.TD
 }

@@ -4,7 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/mme"
 	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/mnet/udr"
+	"wearwild/internal/shard"
 	"wearwild/internal/simtime"
 	"wearwild/internal/stats"
 
@@ -13,6 +18,8 @@ import (
 	"wearwild/internal/study/identify"
 	"wearwild/internal/study/mobmetrics"
 	"wearwild/internal/study/plancost"
+	"wearwild/internal/study/sessions"
+	"wearwild/internal/study/usermetrics"
 )
 
 // Config controls the study.
@@ -22,6 +29,13 @@ type Config struct {
 	SessionGap time.Duration
 	// CDFPoints bounds the resolution of exported CDF series.
 	CDFPoints int
+	// Workers bounds analysis parallelism (0 = one worker per CPU).
+	// Results are byte-identical at every setting.
+	Workers int
+	// Shards is the per-subscriber shard count for the shard-and-merge
+	// aggregations (0 selects shard.DefaultShards). Like Workers, it
+	// changes only the execution schedule, never the Results.
+	Shards int
 }
 
 // DefaultConfig returns the paper's analysis parameters.
@@ -37,8 +51,16 @@ type Study struct {
 	resolver *appid.Resolver
 	analyzer *mobmetrics.Analyzer
 
-	// wearRecs is the proxy log restricted to wearable devices.
-	wearRecs []proxylog.Record
+	// wearRecs is the proxy log restricted to wearable devices;
+	// phoneRecs is its complement (the sampled handset baseline).
+	wearRecs  []proxylog.Record
+	phoneRecs []proxylog.Record
+
+	// Per-subscriber shards of the three logs, partitioned once by IMSI
+	// hash so every analysis fans out over the same fixed structure.
+	wearShards [][]proxylog.Record
+	mmeShards  [][]mme.Record
+	udrShards  [][]udr.Record
 }
 
 // NewStudy prepares a study over a dataset.
@@ -63,13 +85,35 @@ func NewStudy(ds *sim.Dataset, cfg Config) (*Study, error) {
 		analyzer: analyzer,
 	}
 	s.ix = identify.Build(ds.Devices, &ds.MME, &ds.Proxy, &ds.UDR)
+
+	// One classification pass sizes both splits exactly, so neither
+	// slice ever reallocates and IsWearable runs once per record here
+	// instead of once per figure.
+	wearCount := 0
+	for _, rec := range ds.Proxy.Records {
+		if ds.Devices.IsWearable(rec.IMEI) {
+			wearCount++
+		}
+	}
+	s.wearRecs = make([]proxylog.Record, 0, wearCount)
+	s.phoneRecs = make([]proxylog.Record, 0, len(ds.Proxy.Records)-wearCount)
 	for _, rec := range ds.Proxy.Records {
 		if ds.Devices.IsWearable(rec.IMEI) {
 			s.wearRecs = append(s.wearRecs, rec)
+		} else {
+			s.phoneRecs = append(s.phoneRecs, rec)
 		}
 	}
+
+	nShards := shard.Shards(cfg.Shards)
+	s.wearShards = shard.Partition(s.wearRecs, nShards, func(r proxylog.Record) uint64 { return uint64(r.IMSI) })
+	s.mmeShards = shard.Partition(ds.MME.Records, nShards, func(r mme.Record) uint64 { return uint64(r.IMSI) })
+	s.udrShards = shard.Partition(ds.UDR.Records, nShards, func(r udr.Record) uint64 { return uint64(r.IMSI) })
 	return s, nil
 }
+
+// workers resolves the configured analysis parallelism.
+func (s *Study) workers() int { return shard.Workers(s.cfg.Workers) }
 
 // Index exposes the identification result.
 func (s *Study) Index() *identify.Index { return s.ix }
@@ -77,35 +121,82 @@ func (s *Study) Index() *identify.Index { return s.ix }
 // WearableRecords exposes the wearable-only proxy slice.
 func (s *Study) WearableRecords() []proxylog.Record { return s.wearRecs }
 
-// Run executes every analysis and assembles the Results tree.
+// prep holds the shared per-subscriber aggregates several figures read.
+// Run computes each one exactly once (shard-parallel inside), instead of
+// the per-figure recomputation the sequential pipeline did.
+type prep struct {
+	acts       map[subs.IMSI]*usermetrics.Activity
+	presence   map[simtime.Day]map[subs.IMSI]struct{}
+	totals     map[subs.IMSI]*usermetrics.Totals
+	attributed []appid.Attributed
+	wearMob    map[subs.IMSI]*mobmetrics.Mobility
+	restMob    map[subs.IMSI]*mobmetrics.Mobility
+	txSectors  map[subs.IMSI]map[cells.SectorID]int64
+}
+
+// prepare computes the shared aggregates. Each item is internally
+// sharded over the fixed per-subscriber partition, so this phase uses
+// the full worker budget one aggregate at a time.
+func (s *Study) prepare() *prep {
+	w := s.workers()
+	p := &prep{}
+	p.acts = usermetrics.CollectSharded(s.wearShards, nil, w)
+	p.presence = s.wearablePresence()
+	p.totals = usermetrics.TotalsFromUDRSharded(s.udrShards, simtime.Detail(), s.ds.Devices.IsWearable, w)
+	usages := sessions.SessionizeSharded(s.wearShards, s.cfg.SessionGap, w)
+	p.attributed = s.resolver.AttributeParallel(usages, w)
+	p.wearMob = s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isWearDev, w)
+	p.restMob = s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isRestPhone, w)
+	p.txSectors = mobmetrics.TxSectorsSharded(s.mmeShards, s.wearShards, s.isWearDev,
+		func(r proxylog.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }, w)
+	return p
+}
+
+// Run executes every analysis and assembles the Results tree. Figure
+// tasks run concurrently on a bounded pool; each writes a disjoint set
+// of Results fields computed deterministically from the shared prep, so
+// the assembly after the barrier is byte-identical at every Workers and
+// Shards setting.
 func (s *Study) Run() (*Results, error) {
 	if s.ix.NumWearableUsers() == 0 {
 		return nil, fmt.Errorf("core: no SIM-enabled wearable users identified")
 	}
+	p := s.prepare()
 	res := &Results{}
 
-	s.adoption(res)
-	s.retention(res)
-	s.hourlyPattern(res)
-	s.activityDistributions(res)
-	s.transactions(res)
-	s.activityCoupling(res)
-	s.ownersVsRest(res)
-	s.deviceShare(res)
-	s.mobility(res)
-	s.appFigures(res)
-	s.throughDevice(res)
-	res.Weekly = s.ComputeWeeklyTrend()
-	s.planCost(res)
+	var planErr error
+	tasks := []func(){
+		func() { s.adoption(res, p.presence) },
+		func() { s.retention(res, p.presence) },
+		func() { s.hourlyPattern(res) },
+		func() { s.activityDistributions(res, p.acts) },
+		func() { s.transactions(res, p.acts) },
+		func() { s.activityCoupling(res, p.acts) },
+		func() { s.ownersVsRest(res, p.totals) },
+		func() { s.deviceShare(res, p.totals) },
+		func() { s.mobility(res, p) },
+		func() { s.appFigures(res, p.attributed) },
+		func() { res.Weekly = s.ComputeWeeklyTrend() },
+		func() { planErr = s.planCost(res) },
+	}
+	// The tasks write disjoint Results fields, so the only ordering
+	// that matters is the barrier before the dependent phase below.
+	shard.Run(len(tasks), s.workers(), func(i int) { tasks[i]() })
+	if planErr != nil {
+		return nil, fmt.Errorf("core: plan-cost analysis: %w", planErr)
+	}
 
+	// throughDevice reads Fig4c's displacement mean, so it runs after
+	// the barrier.
+	s.throughDevice(res)
 	return res, nil
 }
 
 // planCost computes the Fig 8 discussion's data-plan overhead figures.
-func (s *Study) planCost(res *Results) {
+func (s *Study) planCost(res *Results) error {
 	rep, err := plancost.Analyze(s.resolver, s.wearRecs, plancost.WindowDaysOf(s.wearRecs), 0)
 	if err != nil {
-		return
+		return err
 	}
 	res.PlanCost = PlanCost{
 		PlanMB:            rep.PlanBytes / (1 << 20),
@@ -113,11 +204,17 @@ func (s *Study) planCost(res *Results) {
 		MeanPlanSharePct:  rep.MeanPlanSharePct,
 		MaxPlanSharePct:   rep.MaxPlanSharePct,
 	}
+	return nil
 }
 
 // cdf converts a sample to an exported Series.
 func (s *Study) cdf(sample []float64) Series {
-	e := stats.NewECDF(sample)
+	return s.series(stats.NewECDF(sample))
+}
+
+// series exports an already-built ECDF, so call sites that also need
+// quantiles or means sort the sample once instead of twice.
+func (s *Study) series(e *stats.ECDF) Series {
 	xs, ps := e.Points(s.cfg.CDFPoints)
 	return Series{X: xs, P: ps}
 }

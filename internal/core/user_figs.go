@@ -8,6 +8,7 @@ import (
 	"wearwild/internal/mnet/mme"
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/subs"
+	"wearwild/internal/shard"
 	"wearwild/internal/simtime"
 	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
@@ -16,33 +17,61 @@ import (
 	"wearwild/internal/study/usermetrics"
 )
 
-// wearablePresence returns, per day, the set of wearable users registered
-// at the MME.
-func (s *Study) wearablePresence() map[simtime.Day]map[subs.IMSI]struct{} {
-	out := make(map[simtime.Day]map[subs.IMSI]struct{})
-	window := simtime.FullStudy()
-	for _, rec := range s.ds.MME.Records {
-		if !s.ds.Devices.IsWearable(rec.IMEI) {
-			continue
-		}
-		d := simtime.DayOf(rec.Time)
-		if !window.Contains(d) {
-			continue
-		}
-		set := out[d]
-		if set == nil {
-			set = make(map[subs.IMSI]struct{})
-			out[d] = set
-		}
-		set[rec.IMSI] = struct{}{}
+// isWearDev accepts MME records of SIM-enabled wearables.
+func (s *Study) isWearDev(r mme.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }
+
+// isRestPhone accepts MME records of smartphones owned by non-wearable
+// users: the paper's comparison population.
+func (s *Study) isRestPhone(r mme.Record) bool {
+	if s.ix.IsWearableUser(r.IMSI) {
+		return false
 	}
-	return out
+	m, ok := s.ds.Devices.Lookup(r.IMEI)
+	return ok && m.Class == devicedb.Smartphone
+}
+
+// wearablePresence returns, per day, the set of wearable users registered
+// at the MME. Each shard contributes a disjoint user population, so the
+// per-day set unions are exact whatever the shard or worker count.
+func (s *Study) wearablePresence() map[simtime.Day]map[subs.IMSI]struct{} {
+	window := simtime.FullStudy()
+	parts := shard.Map(s.mmeShards, s.workers(), func(_ int, recs []mme.Record) map[simtime.Day]map[subs.IMSI]struct{} {
+		out := make(map[simtime.Day]map[subs.IMSI]struct{})
+		for _, rec := range recs {
+			if !s.ds.Devices.IsWearable(rec.IMEI) {
+				continue
+			}
+			d := simtime.DayOf(rec.Time)
+			if !window.Contains(d) {
+				continue
+			}
+			set := out[d]
+			if set == nil {
+				set = make(map[subs.IMSI]struct{})
+				out[d] = set
+			}
+			set[rec.IMSI] = struct{}{}
+		}
+		return out
+	})
+	merged := make(map[simtime.Day]map[subs.IMSI]struct{})
+	for _, p := range parts {
+		for d, set := range p {
+			m := merged[d]
+			if m == nil {
+				merged[d] = set
+				continue
+			}
+			for u := range set {
+				m[u] = struct{}{}
+			}
+		}
+	}
+	return merged
 }
 
 // adoption computes Fig 2(a).
-func (s *Study) adoption(res *Results) {
-	presence := s.wearablePresence()
-
+func (s *Study) adoption(res *Results, presence map[simtime.Day]map[subs.IMSI]struct{}) {
 	days := make([]simtime.Day, 0, len(presence))
 	for d := range presence {
 		days = append(days, d)
@@ -91,8 +120,7 @@ func (s *Study) adoption(res *Results) {
 }
 
 // retention computes Fig 2(b).
-func (s *Study) retention(res *Results) {
-	presence := s.wearablePresence()
+func (s *Study) retention(res *Results, presence map[simtime.Day]map[subs.IMSI]struct{}) {
 	inWindow := func(w simtime.Window) map[subs.IMSI]struct{} {
 		set := make(map[subs.IMSI]struct{})
 		for d, users := range presence {
@@ -130,43 +158,117 @@ func (s *Study) retention(res *Results) {
 	res.Fig2b.IntermittentFrac = 1 - res.Fig2b.RetainedFrac - res.Fig2b.AbandonedFrac
 }
 
+// hourCell is one (day, hour) accumulator of the Fig 3(a) grid.
+type hourCell struct {
+	users map[subs.IMSI]struct{}
+	tx    float64
+	bytes float64
+}
+
+// hourlyAcc is the per-shard accumulator of the Fig 3(a) aggregation.
+// Every sum is a count or a byte total (integer-valued floats), and
+// every set union is over disjoint subscriber populations, so the merge
+// is exact: the combined accumulator equals the sequential one bit for
+// bit regardless of shard or worker count.
+type hourlyAcc struct {
+	grid      map[simtime.Day]*[24]hourCell
+	weekUsers map[simtime.Week]map[subs.IMSI]struct{}
+	dayUsers  map[simtime.Day]map[subs.IMSI]struct{}
+}
+
+func newHourlyAcc() *hourlyAcc {
+	return &hourlyAcc{
+		grid:      make(map[simtime.Day]*[24]hourCell),
+		weekUsers: make(map[simtime.Week]map[subs.IMSI]struct{}),
+		dayUsers:  make(map[simtime.Day]map[subs.IMSI]struct{}),
+	}
+}
+
+func (a *hourlyAcc) add(rec proxylog.Record) {
+	d := simtime.DayOf(rec.Time)
+	h := rec.Time.Hour()
+	row := a.grid[d]
+	if row == nil {
+		row = new([24]hourCell)
+		a.grid[d] = row
+	}
+	c := &row[h]
+	if c.users == nil {
+		c.users = make(map[subs.IMSI]struct{})
+	}
+	c.users[rec.IMSI] = struct{}{}
+	c.tx++
+	c.bytes += float64(rec.Bytes())
+
+	w := d.Week()
+	if a.weekUsers[w] == nil {
+		a.weekUsers[w] = make(map[subs.IMSI]struct{})
+	}
+	a.weekUsers[w][rec.IMSI] = struct{}{}
+	if a.dayUsers[d] == nil {
+		a.dayUsers[d] = make(map[subs.IMSI]struct{})
+	}
+	a.dayUsers[d][rec.IMSI] = struct{}{}
+}
+
+// merge folds another shard's accumulator in (disjoint users, integer
+// sums — exact in any order).
+func (a *hourlyAcc) merge(o *hourlyAcc) {
+	for d, row := range o.grid {
+		dst := a.grid[d]
+		if dst == nil {
+			a.grid[d] = row
+			continue
+		}
+		for h := 0; h < 24; h++ {
+			c, src := &dst[h], &row[h]
+			if src.users != nil {
+				if c.users == nil {
+					c.users = src.users
+				} else {
+					for u := range src.users {
+						c.users[u] = struct{}{}
+					}
+				}
+			}
+			c.tx += src.tx
+			c.bytes += src.bytes
+		}
+	}
+	for w, set := range o.weekUsers {
+		if a.weekUsers[w] == nil {
+			a.weekUsers[w] = set
+			continue
+		}
+		for u := range set {
+			a.weekUsers[w][u] = struct{}{}
+		}
+	}
+	for d, set := range o.dayUsers {
+		if a.dayUsers[d] == nil {
+			a.dayUsers[d] = set
+			continue
+		}
+		for u := range set {
+			a.dayUsers[d][u] = struct{}{}
+		}
+	}
+}
+
 // hourlyPattern computes Fig 3(a).
 func (s *Study) hourlyPattern(res *Results) {
-	type cell struct {
-		users map[subs.IMSI]struct{}
-		tx    float64
-		bytes float64
+	parts := shard.Map(s.wearShards, s.workers(), func(_ int, recs []proxylog.Record) *hourlyAcc {
+		acc := newHourlyAcc()
+		for _, rec := range recs {
+			acc.add(rec)
+		}
+		return acc
+	})
+	acc := newHourlyAcc()
+	for _, p := range parts {
+		acc.merge(p)
 	}
-	grid := make(map[simtime.Day]*[24]cell)
-	weekUsers := make(map[simtime.Week]map[subs.IMSI]struct{})
-	dayUsers := make(map[simtime.Day]map[subs.IMSI]struct{})
-
-	for _, rec := range s.wearRecs {
-		d := simtime.DayOf(rec.Time)
-		h := rec.Time.Hour()
-		row := grid[d]
-		if row == nil {
-			row = new([24]cell)
-			grid[d] = row
-		}
-		c := &row[h]
-		if c.users == nil {
-			c.users = make(map[subs.IMSI]struct{})
-		}
-		c.users[rec.IMSI] = struct{}{}
-		c.tx++
-		c.bytes += float64(rec.Bytes())
-
-		w := d.Week()
-		if weekUsers[w] == nil {
-			weekUsers[w] = make(map[subs.IMSI]struct{})
-		}
-		weekUsers[w][rec.IMSI] = struct{}{}
-		if dayUsers[d] == nil {
-			dayUsers[d] = make(map[subs.IMSI]struct{})
-		}
-		dayUsers[d][rec.IMSI] = struct{}{}
-	}
+	grid, weekUsers, dayUsers := acc.grid, acc.weekUsers, acc.dayUsers
 
 	var weekdayDays, weekendDays float64
 	var wu, eu, wt, et, wb, eb [24]float64
@@ -253,36 +355,28 @@ func (s *Study) hourlyPattern(res *Results) {
 		}
 		return hit / total
 	}
-	var phoneRecs []proxylog.Record
-	for _, rec := range s.ds.Proxy.Records {
-		if !s.ds.Devices.IsWearable(rec.IMEI) {
-			phoneRecs = append(phoneRecs, rec)
-		}
-	}
 	weekend := func(d simtime.Day, _ int) bool { return d.IsWeekend() }
 	evening := func(_ simtime.Day, h int) bool { return h >= 18 }
-	if base := shareOf(phoneRecs, weekend); base > 0 {
+	if base := shareOf(s.phoneRecs, weekend); base > 0 {
 		res.Fig3a.RelativeWeekendFactor = shareOf(s.wearRecs, weekend) / base
 	}
-	if base := shareOf(phoneRecs, evening); base > 0 {
+	if base := shareOf(s.phoneRecs, evening); base > 0 {
 		res.Fig3a.RelativeEveningFactor = shareOf(s.wearRecs, evening) / base
 	}
 }
 
 // activityDistributions computes Fig 3(b).
-func (s *Study) activityDistributions(res *Results) {
-	acts := usermetrics.Collect(s.wearRecs, nil)
+func (s *Study) activityDistributions(res *Results, acts map[subs.IMSI]*usermetrics.Activity) {
 	var daysPerWeek, hoursPerDay []float64
 	for _, u := range sortx.Keys(acts) {
 		a := acts[u]
 		daysPerWeek = append(daysPerWeek, a.DaysPerWeek(detailWeeks()))
 		hoursPerDay = append(hoursPerDay, a.HoursPerActiveDay()...)
 	}
-	res.Fig3b.DaysPerWeek = s.cdf(daysPerWeek)
-	res.Fig3b.HoursPerDay = s.cdf(hoursPerDay)
-
 	ed := stats.NewECDF(daysPerWeek)
 	eh := stats.NewECDF(hoursPerDay)
+	res.Fig3b.DaysPerWeek = s.series(ed)
+	res.Fig3b.HoursPerDay = s.series(eh)
 	res.Fig3b.MeanDays = ed.Mean()
 	res.Fig3b.MeanHours = eh.Mean()
 	res.Fig3b.FracUnder5h = eh.At(5)
@@ -290,13 +384,20 @@ func (s *Study) activityDistributions(res *Results) {
 }
 
 // transactions computes Fig 3(c).
-func (s *Study) transactions(res *Results) {
-	sizes := make([]float64, 0, len(s.wearRecs))
-	for _, rec := range s.wearRecs {
-		sizes = append(sizes, float64(rec.Bytes()))
-	}
-	res.Fig3c.SizeCDF = s.cdf(sizes)
-	es := stats.NewECDF(sizes)
+func (s *Study) transactions(res *Results, acts map[subs.IMSI]*usermetrics.Activity) {
+	// Each shard extracts and sorts its sizes; the k-way merge of sorted
+	// partials is the sorted full sample, so the ECDF never re-sorts.
+	parts := shard.Map(s.wearShards, s.workers(), func(_ int, recs []proxylog.Record) []float64 {
+		sizes := make([]float64, len(recs))
+		for i, rec := range recs {
+			sizes[i] = float64(rec.Bytes())
+		}
+		sort.Float64s(sizes)
+		return sizes
+	})
+	sizes := stats.MergeSorted(parts)
+	es := stats.NewECDFSorted(sizes)
+	res.Fig3c.SizeCDF = s.series(es)
 	res.Fig3c.MedianSizeBytes = es.Quantile(0.5)
 	res.Fig3c.FracUnder10KB = es.At(10 * 1024)
 
@@ -313,7 +414,6 @@ func (s *Study) transactions(res *Results) {
 		}
 	}
 
-	acts := usermetrics.Collect(s.wearRecs, nil)
 	var tx, kb []float64
 	for _, u := range sortx.Keys(acts) {
 		a := acts[u]
@@ -324,16 +424,15 @@ func (s *Study) transactions(res *Results) {
 	res.Fig3c.HourlyKBPerUser = s.cdf(kb)
 
 	// Concentration comparison with handsets (§4.3): std of log sizes.
+	// ln(size) sums are not exact under reordering, so both Welford
+	// passes stay in canonical record order.
 	var wearLog, phoneLog stats.Summary
 	for _, rec := range s.wearRecs {
 		if b := rec.Bytes(); b > 0 {
 			wearLog.Add(math.Log(float64(b)))
 		}
 	}
-	for _, rec := range s.ds.Proxy.Records {
-		if s.ds.Devices.IsWearable(rec.IMEI) {
-			continue
-		}
+	for _, rec := range s.phoneRecs {
 		if b := rec.Bytes(); b > 0 {
 			phoneLog.Add(math.Log(float64(b)))
 		}
@@ -343,8 +442,7 @@ func (s *Study) transactions(res *Results) {
 }
 
 // activityCoupling computes Fig 3(d).
-func (s *Study) activityCoupling(res *Results) {
-	acts := usermetrics.Collect(s.wearRecs, nil)
+func (s *Study) activityCoupling(res *Results, acts map[subs.IMSI]*usermetrics.Activity) {
 	var xs, ys []float64
 	buckets := make(map[int]*stats.Summary)
 	for _, u := range sortx.Keys(acts) {
@@ -378,8 +476,7 @@ func (s *Study) activityCoupling(res *Results) {
 }
 
 // ownersVsRest computes Fig 4(a).
-func (s *Study) ownersVsRest(res *Results) {
-	totals := usermetrics.TotalsFromUDR(s.ds.UDR.Records, simtime.Detail(), s.ds.Devices.IsWearable)
+func (s *Study) ownersVsRest(res *Results, totals map[subs.IMSI]*usermetrics.Totals) {
 	var ownerB, restB []float64
 	var ownerT, restT stats.Summary
 	var ownerBS, restBS stats.Summary
@@ -423,8 +520,7 @@ func (s *Study) ownersVsRest(res *Results) {
 
 // deviceShare computes Fig 4(b) over the detail window, like the rest of
 // the Fig 4 comparisons.
-func (s *Study) deviceShare(res *Results) {
-	totals := usermetrics.TotalsFromUDR(s.ds.UDR.Records, simtime.Detail(), s.ds.Devices.IsWearable)
+func (s *Study) deviceShare(res *Results, totals map[subs.IMSI]*usermetrics.Totals) {
 	var shares []float64
 	for _, user := range sortx.Keys(totals) {
 		t := totals[user]
@@ -433,8 +529,8 @@ func (s *Study) deviceShare(res *Results) {
 		}
 		shares = append(shares, t.WearableShare())
 	}
-	res.Fig4b.ShareCDF = s.cdf(shares)
 	e := stats.NewECDF(shares)
+	res.Fig4b.ShareCDF = s.series(e)
 	res.Fig4b.MedianShare = e.Quantile(0.5)
 	res.Fig4b.FracOver3Pct = 1 - e.At(0.03)
 	if res.Fig4b.MedianShare > 0 {
@@ -442,20 +538,9 @@ func (s *Study) deviceShare(res *Results) {
 	}
 }
 
-// mobility computes Fig 4(c) and the single-location takeaway.
-func (s *Study) mobility(res *Results) {
-	isWearDev := func(r mme.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }
-	isRestPhone := func(r mme.Record) bool {
-		if s.ix.IsWearableUser(r.IMSI) {
-			return false
-		}
-		m, ok := s.ds.Devices.Lookup(r.IMEI)
-		return ok && m.Class == devicedb.Smartphone
-	}
-
-	wearMob := s.analyzer.Collect(s.ds.MME.Records, simtime.Detail(), isWearDev)
-	restMob := s.analyzer.Collect(s.ds.MME.Records, simtime.Detail(), isRestPhone)
-
+// mobility computes Fig 4(c), Fig 4(d) and the single-location takeaway
+// from the shared per-user profiles.
+func (s *Study) mobility(res *Results, p *prep) {
 	// Entropy is only estimated for users observed at least minEntropyDays
 	// days: a user seen a handful of times cannot reveal their location
 	// diversity, and wearables (unlike always-on handsets) register
@@ -475,13 +560,13 @@ func (s *Study) mobility(res *Results) {
 		}
 		return disp, entropy, moving
 	}
-	ownerDisp, ownerEnt, ownerMoving := collect(wearMob)
-	restDisp, restEnt, restMoving := collect(restMob)
+	ownerDisp, ownerEnt, ownerMoving := collect(p.wearMob)
+	restDisp, restEnt, restMoving := collect(p.restMob)
 
-	res.Fig4c.OwnerDisplacement = s.cdf(ownerDisp)
-	res.Fig4c.RestDisplacement = s.cdf(restDisp)
 	eo := stats.NewECDF(ownerDisp)
 	er := stats.NewECDF(restDisp)
+	res.Fig4c.OwnerDisplacement = s.series(eo)
+	res.Fig4c.RestDisplacement = s.series(er)
 	res.Fig4c.OwnerMeanKm = eo.Mean()
 	res.Fig4c.RestMeanKm = er.Mean()
 	res.Fig4c.OwnerP90Km = eo.Quantile(0.9)
@@ -491,11 +576,10 @@ func (s *Study) mobility(res *Results) {
 	res.Fig4c.NonStationaryOwnerMeanKm = ownerMoving.Mean()
 	res.Fig4c.NonStationaryRestMeanKm = restMoving.Mean()
 
-	// Single-location transmitters: join wearable transactions to sectors.
-	txSectors := mobmetrics.TxSectors(s.ds.MME.Records, s.wearRecs, isWearDev,
-		func(r proxylog.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) })
+	// Single-location transmitters: wearable transactions joined to
+	// sectors in prep.
 	single, withData := 0, 0
-	for _, sectors := range txSectors {
+	for _, sectors := range p.txSectors {
 		if len(sectors) == 0 {
 			continue
 		}
@@ -509,12 +593,11 @@ func (s *Study) mobility(res *Results) {
 	}
 
 	// Fig 4(d): displacement vs transaction intensity.
-	acts := usermetrics.Collect(s.wearRecs, nil)
 	var xs, ys []float64
 	buckets := make(map[int]*stats.Summary)
-	for _, user := range sortx.Keys(wearMob) {
-		m := wearMob[user]
-		a := acts[user]
+	for _, user := range sortx.Keys(p.wearMob) {
+		m := p.wearMob[user]
+		a := p.acts[user]
 		if a == nil {
 			continue
 		}

@@ -1,41 +1,24 @@
 package sim
 
 import (
-	"runtime"
-	"sync"
+	"wearwild/internal/shard"
 )
 
 // parallelFor runs fn(i) for i in [0, n) on a bounded worker pool. Work is
-// handed out in index order but completion order is unspecified — callers
-// must write results into per-index slots so output stays deterministic
-// regardless of scheduling.
+// handed out in contiguous index ranges but completion order is
+// unspecified — callers must write results into per-index slots so output
+// stays deterministic regardless of scheduling.
 func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
+	parallelForChunked(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			fn(i)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	})
+}
+
+// parallelForChunked is the range-based variant: fn receives contiguous
+// [lo, hi) slices of the index space, one channel operation per chunk
+// instead of per index. Same determinism contract as parallelFor.
+func parallelForChunked(n, workers int, fn func(lo, hi int)) {
+	shard.ForChunked(n, shard.Workers(workers), fn)
 }

@@ -199,8 +199,10 @@ func (ds *Dataset) generateWearables(pop *population.Population, mob *mobility.G
 	tgen *traffic.Generator, root *randx.Rand) {
 	owners := pop.WearableOwners()
 	results := make([]userOutput, len(owners))
-	parallelFor(len(owners), ds.Config.Workers, func(i int) {
-		results[i] = ds.wearableUser(owners[i], uint64(i), mob, tgen, root)
+	parallelForChunked(len(owners), ds.Config.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i] = ds.wearableUser(owners[i], uint64(i), mob, tgen, root)
+		}
 	})
 	ds.merge(results)
 }
@@ -266,17 +268,19 @@ func (ds *Dataset) generateOrdinary(pop *population.Population, mob *mobility.Ge
 	// Phone UDRs for all subscribers, owners included: Fig 4(a/b) compares
 	// whole-user volumes.
 	phoneUDR := make([]userOutput, len(pop.Users))
-	parallelFor(len(pop.Users), ds.Config.Workers, func(i int) {
-		u := pop.Users[i]
-		uid := uint64(i)
-		var out userOutput
-		for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
-			rec := tgen.PhoneWeek(u, w, root.Split("pweek", uid*1000+uint64(w)))
-			if rec.Bytes > 0 {
-				out.udr = append(out.udr, rec)
+	parallelForChunked(len(pop.Users), ds.Config.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := pop.Users[i]
+			uid := uint64(i)
+			var out userOutput
+			for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
+				rec := tgen.PhoneWeek(u, w, root.Split("pweek", uid*1000+uint64(w)))
+				if rec.Bytes > 0 {
+					out.udr = append(out.udr, rec)
+				}
 			}
+			phoneUDR[i] = out
 		}
-		phoneUDR[i] = out
 	})
 	ds.merge(phoneUDR)
 
@@ -287,20 +291,22 @@ func (ds *Dataset) generateOrdinary(pop *population.Population, mob *mobility.Ge
 		sample = len(ordinary)
 	}
 	results := make([]userOutput, len(ordinary))
-	parallelFor(len(ordinary), ds.Config.Workers, func(i int) {
-		u := ordinary[i]
-		uid := uint64(len(pop.WearableOwners()) + i)
-		var out userOutput
-		for d := detail.Start; d < detail.End; d++ {
-			rDay := root.Split("oday", uid*100000+uint64(d))
-			// Mobility sample: full phone itineraries.
-			if i < sample {
-				visits := mob.DayVisits(u, d, rDay.Split("mob", 0))
-				out.mme = append(out.mme, mobility.Records(u, u.PhoneIMEI, visits)...)
+	parallelForChunked(len(ordinary), ds.Config.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := ordinary[i]
+			uid := uint64(len(pop.WearableOwners()) + i)
+			var out userOutput
+			for d := detail.Start; d < detail.End; d++ {
+				rDay := root.Split("oday", uid*100000+uint64(d))
+				// Mobility sample: full phone itineraries.
+				if i < sample {
+					visits := mob.DayVisits(u, d, rDay.Split("mob", 0))
+					out.mme = append(out.mme, mobility.Records(u, u.PhoneIMEI, visits)...)
+				}
+				out.proxy = append(out.proxy, tgen.PhoneProxyDay(u, d, rDay.Split("px", 0))...)
 			}
-			out.proxy = append(out.proxy, tgen.PhoneProxyDay(u, d, rDay.Split("px", 0))...)
+			results[i] = out
 		}
-		results[i] = out
 	})
 	ds.merge(results)
 }

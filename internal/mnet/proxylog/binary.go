@@ -113,6 +113,20 @@ type Decoder struct {
 	lastMs  int64
 	version byte
 	started bool
+	scratch []byte
+}
+
+// readString reads n bytes through the reusable scratch buffer, so only
+// the resulting string allocates once the buffer has warmed up.
+func (d *Decoder) readString(n uint64) (string, error) {
+	if uint64(cap(d.scratch)) < n {
+		d.scratch = make([]byte, n)
+	}
+	buf := d.scratch[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
 }
 
 // NewDecoder returns a decoder reading from r.
@@ -160,11 +174,11 @@ func (d *Decoder) Decode() (Record, error) {
 			if n > 1<<16 {
 				return Record{}, fmt.Errorf("proxylog: host length %d implausible", n)
 			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(d.r, buf); err != nil {
+			host, err := d.readString(n)
+			if err != nil {
 				return Record{}, fmt.Errorf("proxylog: host def: %w", err)
 			}
-			d.hosts = append(d.hosts, string(buf))
+			d.hosts = append(d.hosts, host)
 		case opRec:
 			return d.readRecord()
 		default:
@@ -217,11 +231,9 @@ func (d *Decoder) readRecord() (Record, error) {
 	}
 	var path string
 	if pathLen > 0 {
-		buf := make([]byte, pathLen)
-		if _, err := io.ReadFull(d.r, buf); err != nil {
+		if path, err = d.readString(pathLen); err != nil {
 			return Record{}, fmt.Errorf("proxylog: path: %w", err)
 		}
-		path = string(buf)
 	}
 	up, err := uv("up bytes")
 	if err != nil {

@@ -1,6 +1,7 @@
 package proxylog
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,33 +18,76 @@ import (
 // is blank on clean records so the common case costs one byte.
 var csvHeader = []string{"ts_ms", "imsi", "imei", "scheme", "host", "path", "up", "down", "dur_ms", "drop"}
 
-// WriteCSV streams records as CSV with a header row.
+// WriteCSV streams records as CSV with a header row. Each row is
+// formatted into one reusable scratch buffer (numeric fields appended in
+// place, identity fields zero-padded by hand) instead of the per-field
+// string allocations an encoding/csv writer would cost; the output stays
+// parseable by ReadCSV's encoding/csv reader, including quoting of any
+// field that needs it.
 func WriteCSV(w io.Writer, records []Record) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(strings.Join(csvHeader, ",") + "\n"); err != nil {
 		return err
 	}
-	row := make([]string, len(csvHeader))
+	var scratch []byte
 	for _, r := range records {
-		row[0] = strconv.FormatInt(r.Time.UnixMilli(), 10)
-		row[1] = r.IMSI.String()
-		row[2] = r.IMEI.String()
-		row[3] = r.Scheme.String()
-		row[4] = r.Host
-		row[5] = r.Path
-		row[6] = strconv.FormatInt(r.BytesUp, 10)
-		row[7] = strconv.FormatInt(r.BytesDown, 10)
-		row[8] = strconv.FormatInt(r.Duration.Milliseconds(), 10)
-		row[9] = ""
+		scratch = scratch[:0]
+		scratch = strconv.AppendInt(scratch, r.Time.UnixMilli(), 10)
+		scratch = append(scratch, ',')
+		scratch = appendZeroPadded(scratch, uint64(r.IMSI), 15)
+		scratch = append(scratch, ',')
+		scratch = appendZeroPadded(scratch, uint64(r.IMEI), 15)
+		scratch = append(scratch, ',')
+		scratch = append(scratch, r.Scheme.String()...)
+		scratch = append(scratch, ',')
+		scratch = appendCSVField(scratch, r.Host)
+		scratch = append(scratch, ',')
+		scratch = appendCSVField(scratch, r.Path)
+		scratch = append(scratch, ',')
+		scratch = strconv.AppendInt(scratch, r.BytesUp, 10)
+		scratch = append(scratch, ',')
+		scratch = strconv.AppendInt(scratch, r.BytesDown, 10)
+		scratch = append(scratch, ',')
+		scratch = strconv.AppendInt(scratch, r.Duration.Milliseconds(), 10)
+		scratch = append(scratch, ',')
 		if r.Drop != DropNone {
-			row[9] = r.Drop.String()
+			scratch = append(scratch, r.Drop.String()...)
 		}
-		if err := cw.Write(row); err != nil {
+		scratch = append(scratch, '\n')
+		if _, err := bw.Write(scratch); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
+}
+
+// appendZeroPadded appends v in decimal, left-padded with zeros to width.
+func appendZeroPadded(dst []byte, v uint64, width int) []byte {
+	var tmp [20]byte
+	s := strconv.AppendUint(tmp[:0], v, 10)
+	for pad := width - len(s); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, s...)
+}
+
+// appendCSVField appends a field, quoting it the way encoding/csv would
+// when it contains a separator, quote, newline, or leading whitespace.
+func appendCSVField(dst []byte, s string) []byte {
+	needsQuote := strings.ContainsAny(s, ",\"\r\n") ||
+		(len(s) > 0 && (s[0] == ' ' || s[0] == '\t'))
+	if !needsQuote {
+		return append(dst, s...)
+	}
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			dst = append(dst, '"', '"')
+			continue
+		}
+		dst = append(dst, s[i])
+	}
+	return append(dst, '"')
 }
 
 // ReadCSV parses a stream written by WriteCSV.

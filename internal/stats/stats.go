@@ -99,6 +99,47 @@ func NewECDF(sample []float64) *ECDF {
 	return &ECDF{sorted: s}
 }
 
+// NewECDFSorted adopts an already-sorted sample without copying or
+// re-sorting; the caller must not mutate it afterwards. This is the cheap
+// path for shard-and-merge producers whose k-way merge emits sorted data.
+// Panics if the sample is out of order, since a silently unsorted ECDF
+// corrupts every quantile.
+func NewECDFSorted(sorted []float64) *ECDF {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			panic("stats: NewECDFSorted on unsorted sample")
+		}
+	}
+	return &ECDF{sorted: sorted}
+}
+
+// MergeSorted k-way merges sorted slices into one sorted slice. The result
+// equals sorting the concatenation (sort.Float64s is ascending-stable for
+// equal keys, and floats carry no identity), so ECDFs built from merged
+// shard output match the sequential path exactly.
+func MergeSorted(parts [][]float64) []float64 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]float64, 0, total)
+	heads := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[heads[i]] < parts[best][heads[best]] {
+				best = i
+			}
+		}
+		out = append(out, parts[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
 // N returns the sample size.
 func (e *ECDF) N() int { return len(e.sorted) }
 

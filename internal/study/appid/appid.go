@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/shard"
 
 	"wearwild/internal/gen/apps"
 	"wearwild/internal/study/sessions"
@@ -95,27 +96,46 @@ type Attributed struct {
 func (r *Resolver) Attribute(usages []sessions.Usage) []Attributed {
 	out := make([]Attributed, 0, len(usages))
 	for _, u := range usages {
-		votes := make(map[*apps.App]int, 2)
-		var order []*apps.App
-		for _, rec := range u.Records {
-			if app, ok := r.AppOfHost(rec.Host); ok {
-				if votes[app] == 0 {
-					order = append(order, app)
-				}
-				votes[app]++
-			}
-		}
-		var winner *apps.App
-		best := 0
-		for _, app := range order { // first-seen order breaks ties stably
-			if votes[app] > best {
-				best = votes[app]
-				winner = app
-			}
-		}
-		out = append(out, Attributed{Usage: u, App: winner})
+		out = append(out, Attributed{Usage: u, App: r.attributeOne(u)})
 	}
 	return out
+}
+
+// AttributeParallel is Attribute fanned out over a bounded worker pool:
+// each usage's vote is independent and the catalogue is read-only, so
+// chunked per-index writes reproduce Attribute's output exactly at any
+// worker count.
+func (r *Resolver) AttributeParallel(usages []sessions.Usage, workers int) []Attributed {
+	out := make([]Attributed, len(usages))
+	shard.ForChunked(len(usages), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Attributed{Usage: usages[i], App: r.attributeOne(usages[i])}
+		}
+	})
+	return out
+}
+
+// attributeOne runs the timeframe-correlation vote for one usage.
+func (r *Resolver) attributeOne(u sessions.Usage) *apps.App {
+	votes := make(map[*apps.App]int, 2)
+	var order []*apps.App
+	for _, rec := range u.Records {
+		if app, ok := r.AppOfHost(rec.Host); ok {
+			if votes[app] == 0 {
+				order = append(order, app)
+			}
+			votes[app]++
+		}
+	}
+	var winner *apps.App
+	best := 0
+	for _, app := range order { // first-seen order breaks ties stably
+		if votes[app] > best {
+			best = votes[app]
+			winner = app
+		}
+	}
+	return winner
 }
 
 // AttributeAnchor is the ablation variant of Attribute: instead of a

@@ -14,6 +14,7 @@ import (
 	"wearwild/internal/mnet/mme"
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/subs"
+	"wearwild/internal/shard"
 	"wearwild/internal/simtime"
 	"wearwild/internal/sortx"
 	"wearwild/internal/stats"
@@ -45,13 +46,16 @@ type Mobility struct {
 }
 
 // MeanDailyMaxKm averages the daily max displacement over observed days.
+// The summation runs in day order: float addition is not associative, so
+// summing in map-iteration order would smear the low bits from run to
+// run and break the byte-identical determinism contract.
 func (m *Mobility) MeanDailyMaxKm() float64 {
 	if len(m.DailyMaxKm) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, v := range m.DailyMaxKm {
-		sum += v
+	for _, d := range sortx.Keys(m.DailyMaxKm) {
+		sum += m.DailyMaxKm[d]
 	}
 	return sum / float64(len(m.DailyMaxKm))
 }
@@ -118,6 +122,19 @@ func (a *Analyzer) Collect(records []mme.Record, window simtime.Window, keep fun
 		out[user] = m
 	}
 	return out
+}
+
+// CollectSharded runs Collect per shard on a bounded worker pool and
+// unions the disjoint per-subscriber maps. The shards must partition
+// subscribers; each Mobility profile (per-user sort, dwell weights,
+// entropy) is computed entirely inside its user's shard from the same
+// records in the same relative order a sequential Collect would see, so
+// the merged map is identical at any worker or shard count.
+func (a *Analyzer) CollectSharded(shards [][]mme.Record, window simtime.Window, keep func(mme.Record) bool, workers int) map[subs.IMSI]*Mobility {
+	parts := shard.Map(shards, workers, func(_ int, recs []mme.Record) map[subs.IMSI]*Mobility {
+		return a.Collect(recs, window, keep)
+	})
+	return shard.MergeMaps(parts)
 }
 
 // maxPairwiseKm returns the max distance between any two sectors of a
@@ -188,4 +205,21 @@ func TxSectors(mmeRecords []mme.Record, proxyRecords []proxylog.Record,
 		m[ctx.Sector]++
 	}
 	return out
+}
+
+// TxSectorsSharded runs TxSectors per shard pair on a bounded worker
+// pool. Both shard sets must partition subscribers with the same key and
+// shard count (so a user's MME timeline and transactions are
+// co-resident); the join is per-user, so the union of the disjoint
+// per-shard results is identical to the sequential join.
+func TxSectorsSharded(mmeShards [][]mme.Record, proxyShards [][]proxylog.Record,
+	keepMME func(mme.Record) bool, keepTx func(proxylog.Record) bool, workers int) map[subs.IMSI]map[cells.SectorID]int64 {
+
+	if len(mmeShards) != len(proxyShards) {
+		panic("mobmetrics: mismatched shard counts")
+	}
+	parts := shard.Map(mmeShards, workers, func(i int, recs []mme.Record) map[subs.IMSI]map[cells.SectorID]int64 {
+		return TxSectors(recs, proxyShards[i], keepMME, keepTx)
+	})
+	return shard.MergeMaps(parts)
 }
