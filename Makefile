@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-json fuzz-smoke bench-smoke check
+.PHONY: build test race lint lint-json lint-fixtures fuzz-smoke bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,21 @@ race:
 	$(GO) test -race ./...
 
 # wearlint walks the module and reports determinism/concurrency
-# violations; see DESIGN.md "Static analysis".
+# violations; see DESIGN.md "Static analysis". -json-out writes the
+# byte-stable JSON artifact from the same load+typecheck, which is how
+# CI gets both outputs from one run.
 lint:
-	$(GO) run ./cmd/wearlint ./...
+	$(GO) run ./cmd/wearlint -json-out wearlint.json ./...
 
-# Same findings as machine-readable JSON (what CI uploads as an
-# artifact); byte-stable across runs.
+# Same findings as machine-readable JSON on stdout; byte-stable across
+# runs.
 lint-json:
 	$(GO) run ./cmd/wearlint -format json ./...
+
+# The analyzer golden-fixture suite alone: fixture rot fails here with a
+# named target before the full test run.
+lint-fixtures:
+	$(GO) test ./internal/analysis -run 'TestGolden|TestLoadTree'
 
 # Run the native fuzz targets over their seed corpus only (no mutation):
 # the mme/proxylog codec fuzzers plus the collection-path parsers
@@ -32,9 +39,11 @@ fuzz-smoke:
 
 # Small-scale end-to-end benchmark: emits BENCH.json (timings, allocs,
 # sequential-vs-parallel determinism cross-check) and fails when a phase
-# regressed more than 2x against the committed BENCH_PR4.json baseline.
+# regressed more than 2x against the committed BENCH_BASELINE.json
+# baseline (the -bench-baseline default). The parallel-speedup floor is
+# skipped on single-CPU hosts and the skip is recorded in the JSON.
 bench-smoke:
-	$(GO) run ./cmd/wearbench -small -bench-json -bench-baseline BENCH_PR4.json -o BENCH.json
+	$(GO) run ./cmd/wearbench -small -bench-json -o BENCH.json
 	@cat BENCH.json
 
 check: build lint race fuzz-smoke

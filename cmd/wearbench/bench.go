@@ -35,6 +35,11 @@ type BenchReport struct {
 	StudyParAllocBytes uint64  `json:"study_parallel_alloc_bytes"`
 	// SpeedupStudy is sequential/parallel wall-clock (>1 means faster).
 	SpeedupStudy float64 `json:"speedup_study"`
+	// SpeedupGateSkipped records that the parallel-speedup assertion did
+	// not run (single-CPU host, where worker overhead legitimately makes
+	// the parallel pipeline slower); Reason says why, for the artifact.
+	SpeedupGateSkipped bool   `json:"speedup_gate_skipped"`
+	SpeedupGateReason  string `json:"speedup_gate_reason,omitempty"`
 	// Deterministic records whether the sequential and parallel Results
 	// serialised to identical JSON.
 	Deterministic bool `json:"deterministic"`
@@ -109,6 +114,10 @@ func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, w
 	if rep.StudyParMs > 0 {
 		rep.SpeedupStudy = rep.StudySeqMs / rep.StudyParMs
 	}
+	if runtime.NumCPU() == 1 {
+		rep.SpeedupGateSkipped = true
+		rep.SpeedupGateReason = "single CPU: parallel worker overhead legitimately exceeds the gain"
+	}
 
 	seqJSON, err := json.Marshal(seqRes)
 	if err != nil {
@@ -162,6 +171,16 @@ func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, w
 
 	if !rep.Deterministic {
 		return fmt.Errorf("sequential and parallel Results differ — determinism contract broken")
+	}
+	// Parallel-speedup assertion: the sharded pipeline must not be
+	// dramatically slower than the sequential one. The bar is deliberately
+	// low (0.8x) — -small scale on shared CI is noisy — and the gate is
+	// skipped entirely on single-CPU hosts, where a speedup below 1 is
+	// the expected cost of worker bookkeeping, not a regression.
+	const minSpeedup = 0.8
+	if !rep.SpeedupGateSkipped && rep.SpeedupStudy > 0 && rep.SpeedupStudy < minSpeedup {
+		return fmt.Errorf("parallel study speedup %.2fx below the %.2fx floor on a %d-CPU host",
+			rep.SpeedupStudy, minSpeedup, rep.NumCPU)
 	}
 	if baselinePath != "" {
 		return checkBaseline(rep, baselinePath)

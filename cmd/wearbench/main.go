@@ -5,12 +5,14 @@
 // Usage:
 //
 //	wearbench [-seed 1234] [-small] [-markdown] [-o EXPERIMENTS.md]
-//	wearbench -small -bench-json [-workers N] [-bench-baseline BENCH_PR4.json]
+//	wearbench -small -bench-json [-workers N] [-bench-baseline BENCH_BASELINE.json]
 //
 // -bench-json replaces the report with a machine-readable benchmark of
 // the pipeline (timings, allocations, sequential-vs-parallel speedup and
 // determinism cross-check); -bench-baseline additionally fails the run
-// when a phase regressed more than 2x against a committed baseline.
+// when a phase regressed more than 2x against a committed baseline. It
+// defaults to the tracked BENCH_BASELINE.json and is skipped with a note
+// when that default is absent; pass -bench-baseline "" to disable.
 package main
 
 import (
@@ -23,6 +25,10 @@ import (
 	"wearwild"
 )
 
+// defaultBaseline is the committed canonical benchmark baseline at the
+// repo root; make bench-smoke gates against it by default.
+const defaultBaseline = "BENCH_BASELINE.json"
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wearbench: ")
@@ -33,7 +39,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit markdown instead of the terminal table")
 		outPath   = flag.String("o", "", "write output to a file instead of stdout")
 		benchJSON = flag.Bool("bench-json", false, "emit a machine-readable benchmark report instead of the study report")
-		baseline  = flag.String("bench-baseline", "", "with -bench-json: baseline report to gate regressions against")
+		baseline  = flag.String("bench-baseline", defaultBaseline, `with -bench-json: baseline report to gate regressions against ("" disables; the default is skipped with a note when the file is absent)`)
 		workers   = flag.Int("workers", 0, "analysis worker bound (0 = one per CPU); results are identical at any setting")
 	)
 	flag.Parse()
@@ -50,10 +56,21 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
 			out = f
 		}
-		if err := runBenchJSON(out, cfg, *seed, *small, *workers, *baseline); err != nil {
+		basePath := *baseline
+		if basePath == defaultBaseline {
+			if _, err := os.Stat(basePath); err != nil {
+				log.Printf("baseline %s not found; skipping the regression gate", basePath)
+				basePath = ""
+			}
+		}
+		if err := runBenchJSON(out, cfg, *seed, *small, *workers, basePath); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -79,7 +96,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
 		out = f
 	}
 

@@ -4,13 +4,16 @@
 //	go run ./cmd/wearlint ./...
 //	go run ./cmd/wearlint ./internal/core
 //	go run ./cmd/wearlint -format json ./...
+//	go run ./cmd/wearlint -json-out wearlint.json ./...
 //
 // Text diagnostics print as file:line:col: check: message (call-graph
 // checks add the offending chain, one indented line per hop) and a
 // non-zero exit reports findings. -format json emits a byte-stable JSON
-// array for CI problem-matchers and artifacts. Suppress a finding with a
-// justified comment on the flagged line — or, for chain-carrying
-// diagnostics, on any call site along the chain:
+// array for CI problem-matchers and artifacts; -json-out writes that
+// same array to a file alongside the primary output, so one
+// load+typecheck serves both the human gate and the machine artifact.
+// Suppress a finding with a justified comment on the flagged line — or,
+// for chain-carrying diagnostics, on any call site along the chain:
 //
 //	//wearlint:ignore <check> <reason>
 package main
@@ -28,8 +31,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the available checks and exit")
 	format := flag.String("format", "text", "output format: text or json")
+	jsonOut := flag.String("json-out", "", "also write the JSON report to this file, sharing one load+typecheck with the primary output")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [-format text|json] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [-format text|json] [-json-out file] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,13 +48,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wearlint: unknown format %q (want text or json)\n", *format)
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *format); err != nil {
+	if err := run(flag.Args(), *format, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wearlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, format string) error {
+func run(args []string, format, jsonOut string) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
@@ -64,6 +68,21 @@ func run(args []string, format string) error {
 		return err
 	}
 	diags = filterArgs(diags, root, args)
+	// The JSON side-channel writes before the findings gate below, so CI
+	// uploads a complete artifact even on a failing run.
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := analysis.WriteJSON(f, root, diags); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	if format == "json" {
 		if err := analysis.WriteJSON(os.Stdout, root, diags); err != nil {
 			return err

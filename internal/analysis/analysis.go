@@ -150,8 +150,9 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// DefaultAnalyzers returns every check, in stable order: the five
-// intraprocedural tripwires, then the three call-graph checks.
+// DefaultAnalyzers returns every check, in stable order: the six
+// intraprocedural tripwires, then the five call-graph / dataflow
+// checks.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer,
@@ -159,9 +160,12 @@ func DefaultAnalyzers() []*Analyzer {
 		MaporderAnalyzer,
 		WaitgroupAnalyzer,
 		ClosecheckAnalyzer,
+		ErrdropAnalyzer,
 		DetreachAnalyzer,
 		DeadlineAnalyzer,
 		LockheldAnalyzer,
+		ShardpureAnalyzer,
+		FloatfoldAnalyzer,
 	}
 }
 
@@ -204,6 +208,7 @@ func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 			a.RunModule(mp)
 		}
 	}
+	diags = dedupeErrdrop(diags)
 	diags = ign.filter(diags, 0)
 	if len(typeErrs) > 0 {
 		n := len(typeErrs)
@@ -226,6 +231,36 @@ func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 		return a.Check < b.Check
 	})
 	return diags, nil
+}
+
+// dedupeErrdrop resolves the closecheck/errdrop overlap: both flag a
+// dropped Close/Flush error at the same call position, and a single
+// dropped error must produce a single diagnostic. closecheck wins — its
+// message is the more specific — and the dedupe runs before suppression
+// filtering, so one //wearlint:ignore closecheck on the line silences
+// the finding entirely rather than unmasking the errdrop twin.
+func dedupeErrdrop(diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file      string
+		line, col int
+	}
+	closePos := make(map[key]bool)
+	for _, d := range diags {
+		if d.Check == "closecheck" {
+			closePos[key{d.Pos.Filename, d.Pos.Line, d.Pos.Column}] = true
+		}
+	}
+	if len(closePos) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Check == "errdrop" && closePos[key{d.Pos.Filename, d.Pos.Line, d.Pos.Column}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // matchRel reports whether a module-relative package path matches a

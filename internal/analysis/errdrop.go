@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrdropAnalyzer generalizes closecheck from writer teardown to every
+// error-returning call in internal/ and cmd/ whose result is discarded
+// — the Study.planCost bug class from PR 4, where a computed error was
+// dropped on the floor and a broken plan-cost table shipped silently.
+// A call used as a bare statement (or deferred) whose callee returns an
+// error is flagged; `_ = f()` is the explicit, greppable opt-out, with
+// //wearlint:ignore errdrop for statements that cannot take one.
+//
+// Exemptions, all cases where the error is either unobtainable noise or
+// surfaces later through a checked path:
+//   - the fmt print family (Print/Printf/Println/Fprint*/...), whose
+//     errors re-surface at the destination's Close/Flush — itself
+//     guarded by closecheck;
+//   - methods on strings.Builder, bytes.Buffer and hash.Hash, which are
+//     documented never to return a non-nil error;
+//   - Close/Flush on read-only files opened in the same body and on
+//     network transports, closecheck's own exemptions (closecheck still
+//     owns the writer-path diagnostics; Module.Run dedupes the overlap
+//     by position so a dropped writer Close reports exactly once).
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error result in internal/ or cmd/; handle it or assign to _",
+	Run:  runErrdrop,
+}
+
+// errdropRel scopes the check to first-party pipeline and command code.
+var errdropRel = []string{"internal/...", "cmd/..."}
+
+func runErrdrop(p *Pass) {
+	if !matchRel(p.Rel, errdropRel) {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					errdropBody(p, n.Body)
+				}
+			case *ast.FuncLit:
+				errdropBody(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// errdropBody flags discarded error results in one function body,
+// leaving nested literals to their own visit.
+func errdropBody(p *Pass, body *ast.BlockStmt) {
+	readOnly := openedReadOnly(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+		}
+		if call == nil {
+			return true
+		}
+		if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		t := p.TypeOf(call.Fun)
+		if t == nil {
+			return true
+		}
+		sig, ok := t.Underlying().(*types.Signature)
+		if !ok || !resultsContainError(sig.Results()) {
+			return true
+		}
+		if errdropExempt(p, call, readOnly) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"error result of %s is discarded; handle it, or assign to _ (with //wearlint:ignore errdrop where a statement cannot) to opt out",
+			types.ExprString(call.Fun))
+		return true
+	})
+}
+
+// errdropExempt applies the documented exemption classes to one call.
+func errdropExempt(p *Pass, call *ast.CallExpr, readOnly map[string]bool) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return false // func-value call: no callee identity to exempt on
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	switch recv.String() {
+	case "strings.Builder", "bytes.Buffer", "hash.Hash":
+		return true
+	}
+	if fn.Name() == "Close" || fn.Name() == "Flush" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if rt := p.TypeOf(sel.X); rt != nil && isTransport(rt) {
+				return true
+			}
+			if readOnly[types.ExprString(sel.X)] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"sort"
@@ -238,13 +239,13 @@ func checkTree(t *testing.T, dir, mount string, a *Analyzer) []Diagnostic {
 	return diags
 }
 
-func TestWalltimeFixture(t *testing.T) {
+func TestGoldenWalltime(t *testing.T) {
 	checkFixture(t, "walltime", "internal/gen/fixture", WalltimeAnalyzer)
 }
 
-// TestWalltimeAllowlist reruns the same violating fixture at allowlisted
+// TestGoldenWalltimeAllowlist reruns the same violating fixture at allowlisted
 // module paths; the path, not the code, decides.
-func TestWalltimeAllowlist(t *testing.T) {
+func TestGoldenWalltimeAllowlist(t *testing.T) {
 	for _, rel := range []string{
 		"cmd/fixture",
 		"examples/demo",
@@ -257,32 +258,32 @@ func TestWalltimeAllowlist(t *testing.T) {
 	}
 }
 
-func TestGlobalrandFixture(t *testing.T) {
+func TestGoldenGlobalrand(t *testing.T) {
 	checkFixture(t, "globalrand", "internal/gen/fixture", GlobalrandAnalyzer)
 }
 
-func TestGlobalrandAllowlist(t *testing.T) {
+func TestGoldenGlobalrandAllowlist(t *testing.T) {
 	if diags := runFixture(t, "globalrand", "internal/randx", GlobalrandAnalyzer); len(diags) != 0 {
 		t.Errorf("internal/randx may construct rand streams, got: %v", diags)
 	}
 }
 
-func TestMaporderFixture(t *testing.T) {
+func TestGoldenMaporder(t *testing.T) {
 	checkFixture(t, "maporder", "internal/core/fixture", MaporderAnalyzer)
 }
 
-func TestWaitgroupFixture(t *testing.T) {
+func TestGoldenWaitgroup(t *testing.T) {
 	checkFixture(t, "waitgroup", "internal/fixture", WaitgroupAnalyzer)
 }
 
-func TestClosecheckFixture(t *testing.T) {
+func TestGoldenClosecheck(t *testing.T) {
 	checkFixture(t, "closecheck", "internal/report/fixture", ClosecheckAnalyzer)
 }
 
-// TestDetreachFixture pins the interprocedural clock check: banned
+// TestLoadTreeDetreach pins the interprocedural clock check: banned
 // calls two hops from a root are flagged with the full chain, and an
 // identical banned call the roots cannot reach stays silent.
-func TestDetreachFixture(t *testing.T) {
+func TestLoadTreeDetreach(t *testing.T) {
 	diags := checkTree(t, "detreach", "internal", DetreachAnalyzer)
 	var stamp *Diagnostic
 	for i := range diags {
@@ -305,20 +306,20 @@ func TestDetreachFixture(t *testing.T) {
 	}
 }
 
-// TestDetreachRootSuppression proves one //wearlint:ignore detreach on
+// TestLoadTreeDetreachSuppress proves one //wearlint:ignore detreach on
 // the root call site silences every finding whose chain passes through
 // that line.
-func TestDetreachRootSuppression(t *testing.T) {
+func TestLoadTreeDetreachSuppress(t *testing.T) {
 	_, diags := runTree(t, "detreachsuppress", "internal", DetreachAnalyzer)
 	if len(diags) != 0 {
 		t.Errorf("root-site directive left %d finding(s): %v", len(diags), diags)
 	}
 }
 
-// TestDeadlineFixture pins the caller-path deadline analysis: own-guard
+// TestLoadTreeDeadline pins the caller-path deadline analysis: own-guard
 // and all-callers-guarded reads stay silent, an unguarded entry and a
 // direction mismatch are flagged.
-func TestDeadlineFixture(t *testing.T) {
+func TestLoadTreeDeadline(t *testing.T) {
 	diags := checkTree(t, "deadline", "internal/mnet", DeadlineAnalyzer)
 	foundEntry := false
 	for _, d := range diags {
@@ -331,10 +332,10 @@ func TestDeadlineFixture(t *testing.T) {
 	}
 }
 
-// TestLockheldFixture pins the lock-discipline scan, including the
+// TestLoadTreeLockheld pins the lock-discipline scan, including the
 // cross-package blocking-reachable case and the clean poll/handoff
 // idioms.
-func TestLockheldFixture(t *testing.T) {
+func TestLoadTreeLockheld(t *testing.T) {
 	diags := checkTree(t, "lockheld", "internal/fixture", LockheldAnalyzer)
 	foundChain := false
 	for _, d := range diags {
@@ -347,11 +348,11 @@ func TestLockheldFixture(t *testing.T) {
 	}
 }
 
-// TestSuppressFixture drives the directive end to end: same-line,
+// TestGoldenSuppress drives the directive end to end: same-line,
 // line-above and wildcard suppressions silence their findings, a
 // directive naming the wrong check does not, and a malformed directive
 // is itself reported under the unsuppressable "ignore" pseudo-check.
-func TestSuppressFixture(t *testing.T) {
+func TestGoldenSuppress(t *testing.T) {
 	checkFixtureMessages(t)
 	diags := runFixture(t, "suppress", "internal/fixture", WalltimeAnalyzer)
 
@@ -391,6 +392,179 @@ func TestSuppressFixture(t *testing.T) {
 	}
 	if !strings.Contains(ignore[0].Message, "malformed suppression") {
 		t.Errorf("malformed-directive message = %q", ignore[0].Message)
+	}
+}
+
+// TestLoadTreeShardpure pins the callback-purity check over the seeded
+// tree: every violation class is flagged, the sanctioned patterns stay
+// silent, and wrapped registrations carry the forwarding chain.
+func TestLoadTreeShardpure(t *testing.T) {
+	diags := checkTree(t, "shardpure", "internal", ShardpureAnalyzer)
+
+	// Wrapped registrations must render the hop(s) in the message and
+	// carry them as Path steps the suppression filter can walk.
+	var wrapped, wrapped2 *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(d.Message, "internal/hot.Wrapped → internal/wrap.Go)") {
+			wrapped = d
+		}
+		if strings.Contains(d.Message, "internal/hot.Wrapped2 → internal/wrap.Go2") {
+			wrapped2 = d
+		}
+	}
+	if wrapped == nil {
+		t.Fatalf("no diagnostic renders the one-hop chain Wrapped → wrap.Go; got %v", diags)
+	}
+	if len(wrapped.Path) < 2 {
+		t.Errorf("one-hop registration should carry ≥2 chain steps (registration + forward), got %d: %v", len(wrapped.Path), wrapped.Path)
+	}
+	if wrapped2 == nil {
+		t.Fatalf("no diagnostic renders the two-hop chain Wrapped2 → wrap.Go2; got %v", diags)
+	}
+	if len(wrapped2.Path) != 3 {
+		t.Errorf("two-hop registration should carry 3 chain steps, got %d: %v", len(wrapped2.Path), wrapped2.Path)
+	}
+	for _, want := range []string{"writes captured map", "appends to captured slice", "accumulates into captured", "not derived from the callback's own parameters"} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no shardpure diagnostic explains %q", want)
+		}
+	}
+}
+
+// TestLoadTreeShardpureClean runs the check over a tree that uses the
+// runtime only through the sanctioned patterns: zero findings.
+func TestLoadTreeShardpureClean(t *testing.T) {
+	if _, diags := runTree(t, "shardpureclean", "internal", ShardpureAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeFloatfold pins both halves of the float-fold check: the
+// map-range fold carries the sortx.Keys remediation, and the
+// parallel-reachable receiver fold carries a call chain.
+func TestLoadTreeFloatfold(t *testing.T) {
+	diags := checkTree(t, "floatfold", "internal", FloatfoldAnalyzer)
+
+	var mapFold, observe *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(d.Message, "range over map m") && mapFold == nil {
+			mapFold = d
+		}
+		if strings.Contains(d.Message, "mt.total") {
+			observe = d
+		}
+	}
+	if mapFold == nil {
+		t.Fatalf("no part-A diagnostic over the map range; got %v", diags)
+	}
+	if !strings.Contains(mapFold.Message, "sortx.Keys") {
+		t.Errorf("map-range fold message lacks the sortx.Keys remediation: %q", mapFold.Message)
+	}
+	if observe == nil {
+		t.Fatalf("no part-B diagnostic for the parallel-reachable receiver fold; got %v", diags)
+	}
+	if !strings.Contains(observe.Message, "runs on shard workers") {
+		t.Errorf("parallel-path message lacks the shard-worker explanation: %q", observe.Message)
+	}
+	if len(observe.Path) == 0 {
+		t.Errorf("parallel-path diagnostic must carry the chain from the registration site, got none")
+	}
+}
+
+// TestLoadTreeFloatfoldClean runs the check over integer folds,
+// sorted-key folds and fixed-slot parallel sections: zero findings.
+func TestLoadTreeFloatfoldClean(t *testing.T) {
+	if _, diags := runTree(t, "floatfoldclean", "internal", FloatfoldAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeErrdrop pins the discarded-error check over a two-package
+// tree: bare and deferred drops are flagged, every sanctioned spelling
+// (checked, _ =, directive, exempt receiver) stays silent.
+func TestLoadTreeErrdrop(t *testing.T) {
+	diags := checkTree(t, "errdrop", "internal", ErrdropAnalyzer)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "assign to _") {
+			t.Errorf("errdrop message lacks the opt-out hint: %q", d.Message)
+		}
+	}
+}
+
+// TestGoldenErrdropScope reruns the violating errdrop package mounted
+// outside internal/ and cmd/: the check's scope is the module path, so
+// examples stay unflagged.
+func TestGoldenErrdropScope(t *testing.T) {
+	if diags := runFixture(t, "errdrop/emit", "examples/demo", ErrdropAnalyzer); len(diags) != 0 {
+		t.Errorf("errdrop fired outside internal/ and cmd/: %v", diags)
+	}
+}
+
+// TestGoldenOverlapDedupe pins the closecheck/errdrop overlap rule: a
+// dropped Close/Flush both checks match yields the single closecheck
+// diagnostic, and errdrop alone still covers the site when closecheck
+// is not in the run.
+func TestGoldenOverlapDedupe(t *testing.T) {
+	both := runFixture(t, "overlap", "internal/report/fixture", ClosecheckAnalyzer, ErrdropAnalyzer)
+	if len(both) != 2 {
+		t.Fatalf("want exactly 2 deduped diagnostics, got %d: %v", len(both), both)
+	}
+	for _, d := range both {
+		if d.Check != "closecheck" {
+			t.Errorf("dedupe must keep closecheck over errdrop, got %q at %s", d.Check, d)
+		}
+	}
+
+	alone := runFixture(t, "overlap", "internal/report/fixture", ErrdropAnalyzer)
+	if len(alone) != 2 {
+		t.Fatalf("errdrop alone must still flag both drops, got %d: %v", len(alone), alone)
+	}
+	for _, d := range alone {
+		if d.Check != "errdrop" {
+			t.Errorf("solo run produced %q, want errdrop: %s", d.Check, d)
+		}
+	}
+}
+
+// TestWriteJSONSuppressed proves suppression happens before emission:
+// findings silenced by //wearlint:ignore never reach the JSON output,
+// and the output is byte-stable across identical runs.
+func TestWriteJSONSuppressed(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		m, err := LoadDir(filepath.Join("testdata", "suppress"), "internal/fixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := m.Run(WalltimeAnalyzer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&bufs[i], m.Root, diags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Errorf("JSON output differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", bufs[0].String(), bufs[1].String())
+	}
+	out := bufs[0].String()
+	if got := strings.Count(out, `"check": "walltime"`); got != 1 {
+		t.Errorf("want exactly the 1 unsuppressed walltime finding in JSON, got %d:\n%s", got, out)
+	}
+	// The fixture's suppressed violations sit on lines 9, 15 and 20; none
+	// may surface in the emitted JSON.
+	for _, line := range []string{`"line": 9,`, `"line": 15,`, `"line": 20,`} {
+		if strings.Contains(out, line) {
+			t.Errorf("suppressed finding leaked into JSON (%s):\n%s", line, out)
+		}
 	}
 }
 

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// FloatfoldAnalyzer flags non-associative float folds that can smear
+// bits across runs, the bug class fixed twice already (the PR 1
+// map-order family, Mobility.MeanDailyMaxKm in PR 4):
+//
+//   - part A, module-wide: a float += (or x = x + e spelling) whose
+//     accumulator outlives a `range` over a map folds in randomized
+//     iteration order — every run can produce different low bits.
+//   - part B, parallel paths: a float accumulation into state that
+//     outlives one invocation (a receiver field, package variable or
+//     closure capture) inside a shard callback — or in any function the
+//     call graph reaches from one — folds in whatever order the workers
+//     interleave; DESIGN.md §7 keeps non-associative folds sequential
+//     in canonical order, so such a fold must either move after the
+//     merge barrier or be documented in the sequential-canonical set
+//     below. Invocation-local accumulators are exempt by construction:
+//     their fold order is fixed by the function's own input, parallel
+//     or not. (A write that reaches shared memory through a local
+//     pointer is judged by the pointer's class — the one place this
+//     check under-approximates; DESIGN.md §5 records it.)
+//
+// The canonical set is compiled in and auditable: packages and
+// functions whose float folds are documented to consume already
+// canonically ordered input (sorted samples, fixed per-user record
+// order), so their sums are bit-stable given bit-stable input.
+var FloatfoldAnalyzer = &Analyzer{
+	Name:      "floatfold",
+	Doc:       "float accumulation over map ranges or on parallel-reachable paths is a non-associative fold",
+	RunModule: runFloatfold,
+}
+
+// floatfoldCanonicalPkgs lists packages exempt from the parallel-path
+// rule. internal/stats folds operate on explicitly ordered inputs — the
+// callers sort samples or iterate fixed-order slices — which DESIGN.md
+// §5 documents as the sequential-canonical contract for that package.
+var floatfoldCanonicalPkgs = []string{"internal/stats"}
+
+// floatfoldCanonicalFuncs lists individual functions exempt from the
+// parallel-path rule, by display name. Each entry must be justified in
+// DESIGN.md §5.
+var floatfoldCanonicalFuncs = map[string]bool{}
+
+func runFloatfold(mp *ModulePass) {
+	g := mp.Graph
+	mod := mp.Mod
+	reported := map[string]bool{}
+
+	report := func(w *VarWrite, chain []PathStep, format string, args ...any) {
+		key := mod.Fset.Position(w.Pos).String()
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		mp.Reportf(w.Pos, chain, format, args...)
+	}
+
+	canonical := func(n *Node) bool {
+		return matchRel(n.Rel, floatfoldCanonicalPkgs) || floatfoldCanonicalFuncs[n.DisplayName(mod)]
+	}
+
+	// Part A: float folds over map ranges, module-wide. Nested literal
+	// bodies are part of the enclosing declaration's summary, so callbacks
+	// are covered here too.
+	g.Walk(func(n *Node) {
+		if n.Decl == nil || n.Decl.Body == nil || n.Test || canonical(n) {
+			return
+		}
+		du := mod.FuncDefUse(n.Pass, n.Decl.Type, n.Decl.Body)
+		for i := range du.Writes {
+			w := &du.Writes[i]
+			if !w.FloatAccum || !w.InMapRange || w.Obj == nil {
+				continue
+			}
+			// A target declared inside the range statement resets every
+			// iteration: no cross-iteration fold, no order dependence.
+			if du.ClassOf(w.Obj) == ClassLocal &&
+				w.Obj.Pos() >= w.RangeStmt.Pos() && w.Obj.Pos() < w.RangeStmt.End() {
+				continue
+			}
+			report(w, nil,
+				"non-associative float fold: %s accumulates in a range over map %s, whose iteration order is randomized per run; iterate sortx.Keys (or sort before folding) so the sum order is canonical (DESIGN.md §7)",
+				types.ExprString(w.Target), types.ExprString(w.RangeSrc))
+		}
+	})
+
+	// Part B: float accumulation on parallel paths. Roots are the shard
+	// callbacks themselves plus, for literal callbacks (which are not
+	// graph nodes), every function the literal's body calls — recovered
+	// from the enclosing node's out-edges by position.
+	flagBody := func(du *DefUse, chain []PathStep, where string) {
+		for i := range du.Writes {
+			w := &du.Writes[i]
+			if !w.FloatAccum || w.InMapRange {
+				continue // map-range folds already carry part A's diagnostic
+			}
+			if w.Obj == nil || du.ClassOf(w.Obj) != ClassCaptured {
+				continue // invocation-local fold: order fixed by the input
+			}
+			report(w, chain,
+				"float accumulation into %s inside %s, which runs on shard workers (%s); non-associative folds stay sequential in canonical order — fold after the merge barrier or document the site in floatfold's sequential-canonical set (DESIGN.md §7)",
+				types.ExprString(w.Target), where, renderSteps(chain))
+		}
+	}
+
+	var roots []*Node
+	rootChain := map[*Node][]PathStep{}
+	addRoot := func(n *Node, chain []PathStep) {
+		if n == nil || n.Decl == nil || n.Decl.Body == nil {
+			return
+		}
+		if _, ok := rootChain[n]; ok {
+			return // first registration chain wins; order is deterministic
+		}
+		rootChain[n] = chain
+		roots = append(roots, n)
+	}
+
+	for _, cb := range shardCallbacks(mp) {
+		if cb.node != nil {
+			addRoot(cb.node, cb.chain)
+			continue
+		}
+		// Literal callback: flag its own body, then seed the BFS with the
+		// functions it calls.
+		if !canonical(cb.encl) {
+			flagBody(mod.FuncDefUse(cb.pass, cb.ft, cb.body), cb.chain, cb.name)
+		}
+		for _, e := range cb.encl.Out {
+			if e.Pos < cb.body.Pos() || e.Pos >= cb.body.End() {
+				continue
+			}
+			step := PathStep{Func: cb.encl.DisplayName(mod), Pos: mod.Fset.Position(e.Pos)}
+			addRoot(e.Callee, append(append([]PathStep(nil), cb.chain...), step))
+		}
+	}
+
+	reach := g.ReachableFrom(roots)
+	g.Walk(func(n *Node) {
+		if n.Decl == nil || n.Decl.Body == nil || n.Test || canonical(n) {
+			return
+		}
+		if !reach.Contains(n) {
+			return
+		}
+		path := reach.PathTo(n)
+		root := n
+		if len(path) > 0 {
+			root = path[0].Caller
+		}
+		chain := append(append([]PathStep(nil), rootChain[root]...), pathSteps(mod, path)...)
+		flagBody(mod.FuncDefUse(n.Pass, n.Decl.Type, n.Decl.Body), chain, n.DisplayName(mod))
+	})
+}

@@ -31,6 +31,8 @@ type Module struct {
 	passErrs map[*Unit][]error
 	// graph is the lazily built module-wide call graph.
 	graph *CallGraph
+	// defuse caches per-function dataflow summaries keyed by body.
+	defuse map[*ast.BlockStmt]*DefUse
 	// ign caches the module-wide suppression index; ignMalformed keeps
 	// the malformed-directive diagnostics to re-emit on every Run.
 	ign          ignoreIndex

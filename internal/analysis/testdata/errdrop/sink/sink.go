@@ -1,0 +1,24 @@
+// Package sink is the second package of the errdrop tree: the check is
+// intraprocedural, so each package is judged on its own, and a clean
+// package next to a violating one must stay clean.
+package sink
+
+import "errors"
+
+// Flush fails when asked to.
+func Flush(fail bool) error {
+	if fail {
+		return errors.New("sink: flush failed")
+	}
+	return nil
+}
+
+// Drain drops the flush error.
+func Drain() {
+	Flush(true) // want errdrop
+}
+
+// Settle handles it.
+func Settle() error {
+	return Flush(false)
+}

@@ -1,0 +1,148 @@
+// Package agg seeds both floatfold halves: float folds over randomized
+// map iteration (part A) and float accumulation into shared state on
+// parallel-reachable paths (part B), next to the clean spellings of
+// each.
+package agg
+
+import (
+	"sort"
+
+	"wearwild/internal/shard"
+	"wearwild/internal/stats"
+)
+
+// MapFold folds floats in map-iteration order: a different sum every
+// run.
+func MapFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want floatfold
+	}
+	return sum
+}
+
+// MapFoldSpelledOut uses the x = x + e spelling: same fold, same
+// finding.
+func MapFoldSpelledOut(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want floatfold
+	}
+	return sum
+}
+
+// SortedFold collects and sorts the keys first: the canonical-order
+// spelling the diagnostic recommends.
+func SortedFold(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// IntFold sums integers over the map range: exact in any order, clean.
+func IntFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MaxOver keeps a running maximum: order-independent, not a fold.
+func MaxOver(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PerIterationLocal accumulates into a variable declared inside the
+// range body: it resets every iteration, so no cross-iteration fold.
+func PerIterationLocal(m map[string][]float64) int {
+	count := 0
+	for _, vs := range m {
+		rowSum := 0.0
+		for _, v := range vs {
+			rowSum += v
+		}
+		if rowSum > 1 {
+			count++
+		}
+	}
+	return count
+}
+
+// meter is shared float state a worker should never fold into.
+type meter struct {
+	total float64
+}
+
+// observe accumulates into its receiver: captured state relative to the
+// method, flagged once the runtime can reach it.
+func (mt *meter) observe(v float64) {
+	mt.total += v // want floatfold
+}
+
+// ParallelShared drives observe from shard workers (making observe
+// parallel-reachable) and folds into a captured accumulator directly in
+// the callback.
+func ParallelShared(vals [][]float64) float64 {
+	mt := &meter{}
+	grand := 0.0
+	shard.Run(len(vals), 2, func(i int) {
+		for _, v := range vals[i] {
+			mt.observe(v)
+			grand += v // want floatfold
+		}
+	})
+	return mt.total + grand
+}
+
+// ParallelLocal folds into invocation-local state and publishes through
+// a fixed slot: the sanctioned parallel spelling, clean.
+func ParallelLocal(vals [][]float64) []float64 {
+	partials := make([]float64, len(vals))
+	shard.Run(len(vals), 2, func(i int) {
+		s := 0.0
+		for _, v := range vals[i] {
+			s += v
+		}
+		partials[i] = s
+	})
+	return partials
+}
+
+// ParallelCanonical reaches the stats package from a worker: exempt via
+// the sequential-canonical set.
+func ParallelCanonical(vals [][]float64) []float64 {
+	out := make([]float64, len(vals))
+	shard.Run(len(vals), 2, func(i int) {
+		var w stats.Welford
+		for _, v := range vals[i] {
+			w.Add(v)
+		}
+	})
+	return out
+}
+
+// SequentialShared does the same receiver fold with no shard runtime in
+// sight: part B must not fire off the parallel path. (observe itself is
+// flagged above because ParallelShared makes it reachable; sum here is
+// a plain sequential fold over a slice.)
+func SequentialShared(vals []float64) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,17 @@
+// Package stats mounts at internal/stats, the sequential-canonical
+// package: its receiver-state float folds are documented to consume
+// canonically ordered input, so floatfold must stay silent here even on
+// a parallel-reachable path.
+package stats
+
+// Welford is a running-moment accumulator.
+type Welford struct {
+	n, mean float64
+}
+
+// Add folds one sample in: float accumulation into receiver state, but
+// inside the canonical set.
+func (w *Welford) Add(x float64) {
+	w.n++
+	w.mean += (x - w.mean) / w.n
+}

@@ -1,0 +1,56 @@
+// Package figs is the clean floatfold tree: integer map-range folds,
+// sorted-key float folds, and parallel sections that only touch
+// invocation-local accumulators and fixed slots. Zero findings.
+package figs
+
+import (
+	"sort"
+
+	"wearwild/internal/shard"
+)
+
+// Histogram counts per key: integer accumulation is exact in any order.
+func Histogram(events map[string][]int) map[string]int {
+	out := make(map[string]int, len(events))
+	for k, vs := range events {
+		out[k] = len(vs)
+	}
+	return out
+}
+
+// WeightedMean folds floats only after sorting the keys.
+func WeightedMean(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	return sum / float64(len(keys))
+}
+
+// ShardMeans computes per-shard means into fixed slots; the
+// cross-shard reduction happens sequentially after the barrier.
+func ShardMeans(vals [][]float64) float64 {
+	means := make([]float64, len(vals))
+	shard.Run(len(vals), 2, func(i int) {
+		s := 0.0
+		for _, v := range vals[i] {
+			s += v
+		}
+		if len(vals[i]) > 0 {
+			means[i] = s / float64(len(vals[i]))
+		}
+	})
+	total := 0.0
+	for _, m := range means {
+		total += m
+	}
+	return total / float64(len(means))
+}

@@ -1,0 +1,26 @@
+// Package overlap pins the closecheck/errdrop dedupe: both checks match
+// a dropped writer Close/Flush at the same position, and Module.Run
+// must fold the pair into the single closecheck diagnostic.
+package overlap
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// WriteReport drops the Flush and Close errors of a writer path: one
+// diagnostic per call site, not two.
+func WriteReport(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintln(w, "report"); err != nil {
+		return err
+	}
+	w.Flush()       // want closecheck
+	defer f.Close() // want closecheck
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package wrap forwards callbacks to the shard runtime: the analyzer's
+// fixpoint must treat Go (and the two-hop Go2) as shard entry points
+// themselves.
+package wrap
+
+import "wearwild/internal/shard"
+
+// Go hands its callback straight to shard.Run.
+func Go(n int, fn func(i int)) {
+	shard.Run(n, 2, fn)
+}
+
+// Go2 forwards through Go: two wrapper hops from the runtime.
+func Go2(n int, fn func(i int)) {
+	Go(n, fn)
+}

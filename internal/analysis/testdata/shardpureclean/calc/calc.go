@@ -1,0 +1,58 @@
+// Package calc is the clean half of the shardpure suite: a pipeline
+// that plays by every DESIGN.md §7 rule and must produce zero findings.
+package calc
+
+import (
+	"sync"
+
+	"wearwild/internal/shard"
+)
+
+// Totals aggregates per-shard partials into fixed slots, then merges
+// sequentially after the barrier.
+func Totals(shards [][]int) int {
+	partials := make([]int, len(shards))
+	shard.Run(len(shards), 2, func(i int) {
+		sum := 0
+		for _, v := range shards[i] {
+			sum += v
+		}
+		partials[i] = sum
+	})
+	total := 0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// Collect uses shard.Map's per-index return path: per-shard maps built
+// from invocation-local state, merged after the barrier.
+func Collect(shards [][]string) map[string]int {
+	parts := shard.Map(shards, 2, func(_ int, s []string) map[string]int {
+		m := map[string]int{}
+		for _, k := range s {
+			m[k]++
+		}
+		return m
+	})
+	out := map[string]int{}
+	for _, p := range parts {
+		for k, v := range p {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Guarded funnels every shared write through a mutex.
+func Guarded(n int) map[int]bool {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	shard.Run(n, 2, func(i int) {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+	})
+	return seen
+}

@@ -88,15 +88,17 @@ func (s *Study) appFigures(res *Results, attributed []appid.Attributed) {
 	perApp := make(map[string]appTotals, len(aggs))
 	for _, name := range sortx.Keys(aggs) {
 		a := aggs[name]
-		var assoc float64
+		// Integer set-size sums: exact in any order, so ranging over the
+		// maps directly is safe.
+		var assocN, usedDaysN int64
 		for _, set := range a.dayUsers {
-			assoc += float64(len(set))
+			assocN += int64(len(set))
 		}
-		var usedDays float64
 		for _, days := range a.userDays {
-			usedDays += float64(len(days))
+			usedDaysN += int64(len(days))
 		}
-		usedDaysPerUser := usedDays / float64(len(a.userDays))
+		assoc := float64(assocN)
+		usedDaysPerUser := float64(usedDaysN) / float64(len(a.userDays))
 		perApp[name] = appTotals{assoc: assoc, usedDaysPerUser: usedDaysPerUser}
 		totAssoc += assoc
 		totUsedDays += usedDaysPerUser
@@ -169,12 +171,12 @@ func (s *Study) appFigures(res *Results, attributed []appid.Attributed) {
 	var totCatAssoc float64
 	catAssoc := make(map[apps.Category]float64)
 	for _, cat := range sortx.Keys(cats) {
-		var assoc float64
+		var assocN int64
 		for _, set := range cats[cat].dayUsers {
-			assoc += float64(len(set))
+			assocN += int64(len(set))
 		}
-		catAssoc[cat] = assoc
-		totCatAssoc += assoc
+		catAssoc[cat] = float64(assocN)
+		totCatAssoc += float64(assocN)
 	}
 	for _, cat := range sortx.Keys(cats) {
 		c := cats[cat]
@@ -235,9 +237,11 @@ func (s *Study) appFigures(res *Results, attributed []appid.Attributed) {
 	var totKindUsers, totKindTx, totKindBytes float64
 	kindUsers := make([]float64, apps.NumDomainKinds)
 	for i := range kinds {
+		var usersN int64
 		for _, set := range kinds[i].dayUsers {
-			kindUsers[i] += float64(len(set))
+			usersN += int64(len(set))
 		}
+		kindUsers[i] = float64(usersN)
 		totKindUsers += kindUsers[i]
 		totKindTx += kinds[i].tx
 		totKindBytes += kinds[i].bytes

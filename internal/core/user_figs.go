@@ -161,15 +161,17 @@ func (s *Study) retention(res *Results, presence map[simtime.Day]map[subs.IMSI]s
 // hourCell is one (day, hour) accumulator of the Fig 3(a) grid.
 type hourCell struct {
 	users map[subs.IMSI]struct{}
-	tx    float64
-	bytes float64
+	tx    int64
+	bytes int64
 }
 
 // hourlyAcc is the per-shard accumulator of the Fig 3(a) aggregation.
-// Every sum is a count or a byte total (integer-valued floats), and
-// every set union is over disjoint subscriber populations, so the merge
-// is exact: the combined accumulator equals the sequential one bit for
-// bit regardless of shard or worker count.
+// Every sum is an integer count or byte total, and every set union is
+// over disjoint subscriber populations, so the merge is exact: the
+// combined accumulator equals the sequential one bit for bit regardless
+// of shard or worker count. (Integer accumulators rather than
+// integer-valued floats, so the exactness is by type, and floatfold can
+// verify the fold order doesn't matter.)
 type hourlyAcc struct {
 	grid      map[simtime.Day]*[24]hourCell
 	weekUsers map[simtime.Week]map[subs.IMSI]struct{}
@@ -198,7 +200,7 @@ func (a *hourlyAcc) add(rec proxylog.Record) {
 	}
 	c.users[rec.IMSI] = struct{}{}
 	c.tx++
-	c.bytes += float64(rec.Bytes())
+	c.bytes += rec.Bytes()
 
 	w := d.Week()
 	if a.weekUsers[w] == nil {
@@ -270,8 +272,11 @@ func (s *Study) hourlyPattern(res *Results) {
 	}
 	grid, weekUsers, dayUsers := acc.grid, acc.weekUsers, acc.dayUsers
 
-	var weekdayDays, weekendDays float64
-	var wu, eu, wt, et, wb, eb [24]float64
+	// Integer accumulators throughout the grid folds: counts and byte
+	// totals sum exactly in any order, so ranging over the maps directly
+	// is safe — floatfold verifies no float fold depends on the order.
+	var weekdayDays, weekendDays int64
+	var wu, eu, wt, et, wb, eb [24]int64
 	for d, row := range grid {
 		weekend := d.IsWeekend()
 		if weekend {
@@ -282,11 +287,11 @@ func (s *Study) hourlyPattern(res *Results) {
 		for h := 0; h < 24; h++ {
 			c := row[h]
 			if weekend {
-				eu[h] += float64(len(c.users))
+				eu[h] += int64(len(c.users))
 				et[h] += c.tx
 				eb[h] += c.bytes
 			} else {
-				wu[h] += float64(len(c.users))
+				wu[h] += int64(len(c.users))
 				wt[h] += c.tx
 				wb[h] += c.bytes
 			}
@@ -295,31 +300,32 @@ func (s *Study) hourlyPattern(res *Results) {
 
 	// Weekly normalisers: average per-week distinct users, transactions
 	// and bytes.
-	var weeklyUsers float64
+	var weeklyUserSum int64
 	for _, set := range weekUsers {
-		weeklyUsers += float64(len(set))
+		weeklyUserSum += int64(len(set))
 	}
+	var weeklyUsers float64
 	if n := float64(len(weekUsers)); n > 0 {
-		weeklyUsers /= n
+		weeklyUsers = float64(weeklyUserSum) / n
 	}
 	weeks := float64(detailWeeks())
-	var totTx, totBytes float64
+	var totTx, totBytes int64
 	for _, row := range grid {
 		for h := 0; h < 24; h++ {
 			totTx += row[h].tx
 			totBytes += row[h].bytes
 		}
 	}
-	weeklyTx := totTx / weeks
-	weeklyBytes := totBytes / weeks
+	weeklyTx := float64(totTx) / weeks
+	weeklyBytes := float64(totBytes) / weeks
 
-	norm := func(sum [24]float64, daysN, weekly float64) [24]float64 {
+	norm := func(sum [24]int64, daysN int64, weekly float64) [24]float64 {
 		var out [24]float64
 		if daysN == 0 || weekly == 0 {
 			return out
 		}
 		for h := 0; h < 24; h++ {
-			out[h] = sum[h] / daysN / weekly
+			out[h] = float64(sum[h]) / float64(daysN) / weekly
 		}
 		return out
 	}
@@ -330,12 +336,12 @@ func (s *Study) hourlyPattern(res *Results) {
 	res.Fig3a.WeekdayBytes = norm(wb, weekdayDays, weeklyBytes)
 	res.Fig3a.WeekendBytes = norm(eb, weekendDays, weeklyBytes)
 
-	var dailySum float64
+	var dailySum int64
 	for _, set := range dayUsers {
-		dailySum += float64(len(set))
+		dailySum += int64(len(set))
 	}
 	if len(dayUsers) > 0 && weeklyUsers > 0 {
-		res.Fig3a.DailyActiveShare = dailySum / float64(len(dayUsers)) / weeklyUsers
+		res.Fig3a.DailyActiveShare = float64(dailySum) / float64(len(dayUsers)) / weeklyUsers
 	}
 
 	// Relative weekend/evening usage vs the ISP baseline (§4.2): compare

@@ -144,7 +144,7 @@ func ReadFile(path string) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer gz.Close()
+		defer gz.Close() //wearlint:ignore errdrop read-side gzip close; corruption already surfaces as Read errors
 		r = gz
 	}
 	return ReadCSV(r)

@@ -61,7 +61,7 @@ func NewHarness() (*Harness, error) {
 
 	h.httpLn, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		h.tlsLn.Close()
+		_ = h.tlsLn.Close()
 		return nil, err
 	}
 	go h.serveHTTPOrigin()
@@ -80,16 +80,16 @@ func NewHarness() (*Harness, error) {
 		},
 	})
 	if err != nil {
-		h.tlsLn.Close()
-		h.httpLn.Close()
+		_ = h.tlsLn.Close()
+		_ = h.httpLn.Close()
 		return nil, err
 	}
 	h.proxy = proxy
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		h.tlsLn.Close()
-		h.httpLn.Close()
+		_ = h.tlsLn.Close()
+		_ = h.httpLn.Close()
 		return nil, err
 	}
 	h.proxyAddr = ln.Addr().String()
