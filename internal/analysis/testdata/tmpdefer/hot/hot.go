@@ -1,0 +1,18 @@
+package hot
+
+import (
+	"sync"
+
+	"wearwild/internal/shard"
+)
+
+func DeferMutex() int {
+	var mu sync.Mutex
+	total := 0
+	shard.Run(4, 2, func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		total += i
+	})
+	return total
+}

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestTmpDeferUnlock(t *testing.T) {
+	_, diags := runTree(t, "tmpdefer", "internal/hotfix", ShardpureAnalyzer)
+	for _, d := range diags {
+		t.Logf("DIAG: %s:%d %s: %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+	}
+	if len(diags) != 0 {
+		t.Errorf("got %d diagnostics for defer-unlock idiom", len(diags))
+	}
+}
