@@ -32,18 +32,21 @@ lint-fixtures:
 	$(GO) test ./internal/analysis -run 'TestGolden|TestLoadTree'
 
 # Run the native fuzz targets over their seed corpus only (no mutation):
-# the mme/proxylog codec fuzzers plus the collection-path parsers
-# (httplog FuzzReadHead, sni FuzzReadClientHello).
+# the mme/proxylog codec fuzzers, the collection-path parsers (httplog
+# FuzzReadHead, sni FuzzReadClientHello), and the wearlint suppression
+# directive parser (FuzzIgnoreDirective).
 fuzz-smoke:
-	$(GO) test -run='^Fuzz' ./internal/mnet/...
+	$(GO) test -run='^Fuzz' ./internal/mnet/... ./internal/analysis
 
 # Small-scale end-to-end benchmark: emits BENCH.json (timings, allocs,
 # sequential-vs-parallel determinism cross-check) and fails when a phase
-# regressed more than 2x against the committed BENCH_BASELINE.json
-# baseline (the -bench-baseline default). The parallel-speedup floor is
-# skipped on single-CPU hosts and the skip is recorded in the JSON.
+# regressed more than 2x against a committed baseline. The repo commits
+# one BENCH_PR<n>.json per PR; the glob picks the best-matching report
+# (same -small flag, closest NumCPU/GOMAXPROCS to this host). The
+# parallel-speedup floor is skipped on single-CPU hosts and the skip is
+# recorded in the JSON.
 bench-smoke:
-	$(GO) run ./cmd/wearbench -small -bench-json -o BENCH.json
+	$(GO) run ./cmd/wearbench -small -bench-json -bench-baseline 'BENCH_*.json' -o BENCH.json
 	@cat BENCH.json
 
-check: build lint race fuzz-smoke
+check: build lint lint-fixtures race fuzz-smoke

@@ -450,8 +450,17 @@ func BenchmarkWearlintModule(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(cold.Milliseconds()), "cold_ms")
-	if warm := b.Elapsed() / time.Duration(b.N); warm > 0 {
+	warm := b.Elapsed() / time.Duration(b.N)
+	if warm > 0 {
 		b.ReportMetric(float64(cold)/float64(warm), "speedup")
+	}
+	// Lint-perf smoke: CI runs this with -benchtime 1x so a new check
+	// can't silently make `make lint` crawl as the catalog grows. The
+	// ceiling is generous — shared CI hosts are slow and noisy — but an
+	// accidentally superlinear analyzer blows far past it.
+	const warmCeiling = 30 * time.Second
+	if warm > warmCeiling {
+		b.Fatalf("warm module lint took %v per run, above the %v ceiling", warm, warmCeiling)
 	}
 }
 

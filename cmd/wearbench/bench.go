@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"wearwild"
@@ -183,9 +187,75 @@ func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, w
 			rep.SpeedupStudy, minSpeedup, rep.NumCPU)
 	}
 	if baselinePath != "" {
-		return checkBaseline(rep, baselinePath)
+		resolved, err := resolveBaseline(baselinePath, rep)
+		if err != nil {
+			return err
+		}
+		if resolved == "" {
+			log.Printf("no baseline matches %s; skipping the regression gate", baselinePath)
+			return nil
+		}
+		if resolved != baselinePath {
+			log.Printf("baseline %s selected from %s", resolved, baselinePath)
+		}
+		return checkBaseline(rep, resolved)
 	}
 	return nil
+}
+
+// resolveBaseline picks the baseline file for path, which may be a glob
+// (BENCH_*.json, letting the repo accrete one committed report per PR).
+// Among the matching reports the best match is the one recorded under
+// the most comparable conditions: same -small flag first, then closest
+// NumCPU, then closest GOMAXPROCS, ties broken by lexicographically
+// smallest path so the pick is deterministic. Unreadable or unparsable
+// candidates are skipped with a note. Returns "" when nothing matches.
+func resolveBaseline(path string, rep *BenchReport) (string, error) {
+	if !strings.ContainsAny(path, "*?[") {
+		return path, nil
+	}
+	matches, err := filepath.Glob(path)
+	if err != nil {
+		return "", fmt.Errorf("baseline glob %q: %w", path, err)
+	}
+	sort.Strings(matches)
+	boolMismatch := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	best := ""
+	var bestScore [3]int
+	for _, m := range matches {
+		raw, err := os.ReadFile(m)
+		if err != nil {
+			log.Printf("baseline %s: unreadable, skipped (%v)", m, err)
+			continue
+		}
+		var cand BenchReport
+		if err := json.Unmarshal(raw, &cand); err != nil {
+			log.Printf("baseline %s: unparsable, skipped (%v)", m, err)
+			continue
+		}
+		score := [3]int{
+			boolMismatch(cand.Small != rep.Small),
+			abs(cand.NumCPU - rep.NumCPU),
+			abs(cand.GOMAXPROCS - rep.GOMAXPROCS),
+		}
+		if best == "" || score[0] < bestScore[0] ||
+			(score[0] == bestScore[0] && score[1] < bestScore[1]) ||
+			(score[0] == bestScore[0] && score[1] == bestScore[1] && score[2] < bestScore[2]) {
+			best, bestScore = m, score
+		}
+	}
+	return best, nil
 }
 
 // checkBaseline fails when a timing regressed more than 2x against the

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep BenchReport) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestResolveBaselineGlob pins the best-match selection: the same
+// -small flag beats CPU proximity, CPU proximity beats GOMAXPROCS
+// proximity, ties fall to the lexicographically smallest path, and
+// unparsable candidates are skipped rather than fatal.
+func TestResolveBaselineGlob(t *testing.T) {
+	dir := t.TempDir()
+	now := &BenchReport{Small: true, NumCPU: 4, GOMAXPROCS: 4}
+
+	big := writeReport(t, dir, "BENCH_PR1.json", BenchReport{Small: false, NumCPU: 4, GOMAXPROCS: 4})
+	far := writeReport(t, dir, "BENCH_PR2.json", BenchReport{Small: true, NumCPU: 64, GOMAXPROCS: 64})
+	near := writeReport(t, dir, "BENCH_PR3.json", BenchReport{Small: true, NumCPU: 4, GOMAXPROCS: 8})
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR4.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := resolveBaseline(filepath.Join(dir, "BENCH_*.json"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != near {
+		t.Errorf("best match = %s, want %s (same -small, closest CPU)", got, near)
+	}
+
+	// Remove the close match: the far same-small report still beats the
+	// exact-host big-config one.
+	if err := os.Remove(near); err != nil {
+		t.Fatal(err)
+	}
+	got, err = resolveBaseline(filepath.Join(dir, "BENCH_*.json"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != far {
+		t.Errorf("best match = %s, want %s (same -small beats host proximity)", got, far)
+	}
+	_ = big
+
+	// GOMAXPROCS breaks a NumCPU tie; path order breaks a full tie.
+	g4 := writeReport(t, dir, "BENCH_PR5.json", BenchReport{Small: true, NumCPU: 64, GOMAXPROCS: 4})
+	got, err = resolveBaseline(filepath.Join(dir, "BENCH_*.json"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g4 {
+		t.Errorf("best match = %s, want %s (GOMAXPROCS tiebreak)", got, g4)
+	}
+	dup := writeReport(t, dir, "BENCH_PR0.json", BenchReport{Small: true, NumCPU: 64, GOMAXPROCS: 4})
+	got, err = resolveBaseline(filepath.Join(dir, "BENCH_*.json"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dup {
+		t.Errorf("best match = %s, want %s (lexicographic tiebreak)", got, dup)
+	}
+}
+
+// TestResolveBaselineNoGlob leaves literal paths untouched, matches or
+// not, and returns "" for a glob with no matches.
+func TestResolveBaselineNoGlob(t *testing.T) {
+	now := &BenchReport{}
+	got, err := resolveBaseline("BENCH_BASELINE.json", now)
+	if err != nil || got != "BENCH_BASELINE.json" {
+		t.Errorf("literal path rewritten: %q, %v", got, err)
+	}
+	got, err = resolveBaseline(filepath.Join(t.TempDir(), "BENCH_*.json"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("empty glob resolved to %q, want \"\"", got)
+	}
+}

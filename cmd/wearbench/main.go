@@ -12,7 +12,10 @@
 // determinism cross-check); -bench-baseline additionally fails the run
 // when a phase regressed more than 2x against a committed baseline. It
 // defaults to the tracked BENCH_BASELINE.json and is skipped with a note
-// when that default is absent; pass -bench-baseline "" to disable.
+// when that default is absent; pass -bench-baseline "" to disable. The
+// path may be a glob ('BENCH_*.json'): the repo commits one report per
+// PR, and the gate picks the best-matching entry — same -small flag,
+// then closest NumCPU and GOMAXPROCS to the current host.
 package main
 
 import (
@@ -39,7 +42,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit markdown instead of the terminal table")
 		outPath   = flag.String("o", "", "write output to a file instead of stdout")
 		benchJSON = flag.Bool("bench-json", false, "emit a machine-readable benchmark report instead of the study report")
-		baseline  = flag.String("bench-baseline", defaultBaseline, `with -bench-json: baseline report to gate regressions against ("" disables; the default is skipped with a note when the file is absent)`)
+		baseline  = flag.String("bench-baseline", defaultBaseline, `with -bench-json: baseline report to gate regressions against — a path or a glob like 'BENCH_*.json', which picks the best-matching committed report ("" disables; the default is skipped with a note when the file is absent)`)
 		workers   = flag.Int("workers", 0, "analysis worker bound (0 = one per CPU); results are identical at any setting")
 	)
 	flag.Parse()

@@ -151,8 +151,8 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 }
 
 // DefaultAnalyzers returns every check, in stable order: the six
-// intraprocedural tripwires, then the five call-graph / dataflow
-// checks.
+// intraprocedural tripwires, then the nine call-graph / dataflow
+// checks (the last four are the memory-discipline layer).
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer,
@@ -166,6 +166,10 @@ func DefaultAnalyzers() []*Analyzer {
 		LockheldAnalyzer,
 		ShardpureAnalyzer,
 		FloatfoldAnalyzer,
+		GrowboundAnalyzer,
+		RetainAnalyzer,
+		GoleakAnalyzer,
+		MergeableAnalyzer,
 	}
 }
 

@@ -234,6 +234,15 @@ func (w *defUseWalk) walk(n ast.Node) {
 		case *ast.IncDecStmt:
 			w.record(nd.X, nd.Pos(), true)
 			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at exit, so the mutex stays held for
+			// the rest of the body — the decrement must not fire here.
+			// Deferred Locks are equally exit-time and ignored.
+			if _, _, ok := mutexMethodCall(w.du.pass, nd.Call); ok {
+				w.recordUsesIn(nd.Call)
+				return false
+			}
+			return true
 		case *ast.CallExpr:
 			if recv, name, ok := mutexMethodCall(w.du.pass, nd); ok {
 				_ = recv

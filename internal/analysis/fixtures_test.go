@@ -600,3 +600,202 @@ func checkFixtureMessages(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadTreeGrowbound pins the unbounded-growth check over the
+// seeded tree: both growth spellings flag in the root package without
+// a chain, the helper one hop below the root carries its chain, the
+// unreachable generator and the exempt stats package stay silent, and
+// every sanctioned bounded shape passes.
+func TestLoadTreeGrowbound(t *testing.T) {
+	diags := checkTree(t, "growbound", "internal", GrowboundAnalyzer)
+
+	var chained, rooted *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(d.Pos.Filename, "helper") {
+			chained = d
+		}
+		if strings.Contains(d.Pos.Filename, "proxylog") {
+			rooted = d
+		}
+		if !strings.Contains(d.Message, "DESIGN.md §7") {
+			t.Errorf("growbound message lacks the bounded-accumulator pointer: %q", d.Message)
+		}
+	}
+	if chained == nil {
+		t.Fatalf("no diagnostic for the helper package; got %v", diags)
+	}
+	if !strings.Contains(chained.Message, "reached via internal/core.Study") {
+		t.Errorf("helper finding must render the chain from the root: %q", chained.Message)
+	}
+	if len(chained.Path) == 0 {
+		t.Errorf("helper finding must carry Path steps for chain-aware suppression, got none")
+	}
+	if rooted == nil {
+		t.Fatalf("no diagnostic for the decoder-idiom loop in the root codec; got %v", diags)
+	}
+	if strings.Contains(rooted.Message, "reached via") {
+		t.Errorf("root-package finding must not render a chain: %q", rooted.Message)
+	}
+}
+
+// TestLoadTreeGrowboundClean runs the check over the all-bounded tree:
+// zero findings.
+func TestLoadTreeGrowboundClean(t *testing.T) {
+	if _, diags := runTree(t, "growboundclean", "internal", GrowboundAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestGoldenRetain pins the slab-retention check: both reuse markers
+// arm the slab, every escape spelling (return, two-hop alias return,
+// field store, map store, header append) flags, and the copy-first
+// idioms stay silent.
+func TestGoldenRetain(t *testing.T) {
+	checkFixture(t, "retain", "internal/mnet/codec", RetainAnalyzer)
+	diags := runFixture(t, "retain", "internal/mnet/codec", RetainAnalyzer)
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "copy first") {
+			t.Errorf("retain message lacks the copy-first remediation: %q", d.Message)
+		}
+	}
+}
+
+// TestGoldenRetainClean runs the check over the copying decoder: zero
+// findings.
+func TestGoldenRetainClean(t *testing.T) {
+	if diags := runFixture(t, "retainclean", "internal/mnet/codec", RetainAnalyzer); len(diags) != 0 {
+		t.Errorf("clean fixture flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeGoleak pins the goroutine-lifecycle check: the literal,
+// named (with spawn step), bodiless-leaf and blocking-callee spawns
+// flag; the four disciplines, the dynamic spawn and the non-blocking
+// body stay silent.
+func TestLoadTreeGoleak(t *testing.T) {
+	diags := checkTree(t, "goleak", "internal/mnet", GoleakAnalyzer)
+
+	var named, viaCall, leaf *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		switch {
+		case strings.Contains(d.Message, "internal/mnet/pipe.Pump,"):
+			viaCall = d
+		case strings.Contains(d.Message, "internal/mnet/pipe.Pump"):
+			named = d
+		case strings.Contains(d.Message, "blocks outright"):
+			leaf = d
+		}
+	}
+	if named == nil {
+		t.Fatalf("no diagnostic names the spawned worker pipe.Pump; got %v", diags)
+	}
+	if len(named.Path) == 0 {
+		t.Errorf("named-spawn finding must carry the spawn step, got none")
+	}
+	if viaCall == nil {
+		t.Errorf("no diagnostic attributes blocking to the call into pipe.Pump; got %v", diags)
+	}
+	if leaf == nil {
+		t.Errorf("no diagnostic for the bodiless blocking leaf (wg.Wait); got %v", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "WaitGroup") {
+			t.Errorf("goleak message lacks the remediation menu: %q", d.Message)
+		}
+	}
+}
+
+// TestGoldenGoleakScope remounts the flagged literal spawn outside the
+// audited packages: the scope is the module path, so it stays silent.
+func TestGoldenGoleakScope(t *testing.T) {
+	if diags := runFixture(t, "goleak/litspawn", "internal/study/fixture", GoleakAnalyzer); len(diags) != 0 {
+		t.Errorf("goleak fired outside its package scope: %v", diags)
+	}
+}
+
+// TestLoadTreeGoleakClean runs the check over the worker-pool idiom
+// using every sanctioned discipline: zero findings.
+func TestLoadTreeGoleakClean(t *testing.T) {
+	if _, diags := runTree(t, "goleakclean", "internal/shard", GoleakAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeMergeable pins the accumulator audit: bare floats,
+// anonymous and Merge-less types and a float-folding Merge all flag,
+// the wrapped registration carries its two-step chain, and the exact
+// merges (ints, maps, slices, int-Merge, stats types) pass.
+func TestLoadTreeMergeable(t *testing.T) {
+	diags := checkTree(t, "mergeable", "internal", MergeableAnalyzer)
+
+	var wrapped, floatMerge *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(d.Message, "internal/wrap.Go") {
+			wrapped = d
+		}
+		if strings.Contains(d.Message, "acc.Merge accumulates floats") {
+			floatMerge = d
+		}
+		if !strings.Contains(d.Message, "DESIGN.md §7") {
+			t.Errorf("mergeable message lacks the merge-rules pointer: %q", d.Message)
+		}
+	}
+	if wrapped == nil {
+		t.Fatalf("no diagnostic renders the forwarding chain through wrap.Go; got %v", diags)
+	}
+	if len(wrapped.Path) < 2 {
+		t.Errorf("wrapped registration should carry >=2 chain steps, got %d: %v", len(wrapped.Path), wrapped.Path)
+	}
+	if floatMerge == nil {
+		t.Errorf("no diagnostic pins the float fold inside acc.Merge; got %v", diags)
+	}
+}
+
+// TestLoadTreeMergeableClean runs the audit over exact merges only:
+// zero findings.
+func TestLoadTreeMergeableClean(t *testing.T) {
+	if _, diags := runTree(t, "mergeableclean", "internal", MergeableAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestWriteJSONMemoryChecks runs each memory-discipline analyzer over
+// its flagged tree twice and demands byte-identical JSON both times,
+// with the check present in the emitted report — the emitter contract
+// extended to the four new checks.
+func TestWriteJSONMemoryChecks(t *testing.T) {
+	for _, tc := range []struct {
+		dir, mount string
+		a          *Analyzer
+	}{
+		{"growbound", "internal", GrowboundAnalyzer},
+		{"retain", "internal/mnet/codec", RetainAnalyzer},
+		{"goleak", "internal/mnet", GoleakAnalyzer},
+		{"mergeable", "internal", MergeableAnalyzer},
+	} {
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			m, err := LoadTree(filepath.Join("testdata", tc.dir), tc.mount)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := m.Run(tc.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteJSON(&bufs[i], m.Root, diags); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Errorf("%s: JSON output differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s",
+				tc.dir, bufs[0].String(), bufs[1].String())
+		}
+		if !strings.Contains(bufs[0].String(), `"check": "`+tc.a.Name+`"`) {
+			t.Errorf("%s: emitted JSON carries no %q finding:\n%s", tc.dir, tc.a.Name, bufs[0].String())
+		}
+	}
+}

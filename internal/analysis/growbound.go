@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GrowboundAnalyzer flags the "load everything into a slice" habit on the
+// study and decoder paths: an append or map-insert of a record-bearing
+// value into state that outlives a record-iteration loop materialises the
+// whole input — the memory blocker for the streaming study engine
+// (ROADMAP item 1). The check is scoped to functions reachable from the
+// study/decoder entry points (internal/core plus the proxylog/mme/udr
+// codecs), so generators and test rigs that legitimately build record
+// slices stay quiet.
+//
+// Approximation rules (DESIGN.md §5):
+//
+//   - Only values whose type transitively contains an internal/mnet
+//     Record count: per-entity aggregates (counts, sets, histograms
+//     keyed by subscriber) are bounded by the population, not the record
+//     count, and pass — the "bounded accumulator" definition of
+//     DESIGN.md §7.
+//   - Fixed-slot writes (v[i] = e into slices and arrays) never flag:
+//     own-indexed shard slots and fixed-size arrays do not grow.
+//   - A slice reset to zero length inside the same loop (x = x[:0], or
+//     append(x[:0], ...)) is scratch reuse, not growth.
+//   - internal/stats is exempt wholesale: its sketches and histograms
+//     are the bounded accumulators the streaming engine will keep.
+//   - Growth through a call boundary (passing the accumulator to a
+//     helper that appends) is not tracked — the usual dataflow-layer
+//     under-approximation.
+var GrowboundAnalyzer = &Analyzer{
+	Name:      "growbound",
+	Doc:       "record loops on study/decoder paths must not grow record-bearing state that outlives the loop",
+	RunModule: runGrowbound,
+}
+
+// growboundRootPkgs holds the entry-point packages: the study itself and
+// the three log codecs. Reachability from their non-test functions
+// defines the audited surface.
+var growboundRootPkgs = []string{
+	"internal/core",
+	"internal/mnet/proxylog",
+	"internal/mnet/mme",
+	"internal/mnet/udr",
+}
+
+// growboundBoundedPkgs lists packages whose accumulators are bounded by
+// construction (fixed-width sketches, capped histograms); see the
+// bounded-accumulator definition in DESIGN.md §7.
+var growboundBoundedPkgs = []string{"internal/stats"}
+
+func runGrowbound(mp *ModulePass) {
+	g, mod := mp.Graph, mp.Mod
+	var roots []*Node
+	for _, n := range g.FuncsIn(growboundRootPkgs) {
+		if !n.Test {
+			roots = append(roots, n)
+		}
+	}
+	reach := g.ReachableFrom(roots)
+	reported := map[string]bool{}
+	g.Walk(func(n *Node) {
+		if n.Decl == nil || n.Decl.Body == nil || n.Test || matchRel(n.Rel, growboundBoundedPkgs) {
+			return
+		}
+		if !reach.Contains(n) {
+			return
+		}
+		chain := pathSteps(mod, reach.PathTo(n))
+		growboundFunc(mp, n, chain, reported)
+	})
+}
+
+// growboundFunc scans one reachable function body for record loops and
+// flags qualifying growth writes inside them.
+func growboundFunc(mp *ModulePass, n *Node, chain []PathStep, reported map[string]bool) {
+	pass, mod := n.Pass, mp.Mod
+	du := mod.FuncDefUse(pass, n.Decl.Type, n.Decl.Body)
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		loop, body := recordLoop(pass, mod, nd)
+		if loop == nil {
+			return true
+		}
+		resets := resetObjects(pass, body)
+		ast.Inspect(body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				growboundAssign(mp, n, du, loop, resets, as, as.Lhs[i], as.Rhs[i], chain, reported)
+			}
+			return true
+		})
+		return true // nested record loops report at their own sites; positions dedupe
+	})
+}
+
+// growboundAssign judges one assignment inside a record loop.
+func growboundAssign(mp *ModulePass, n *Node, du *DefUse, loop ast.Stmt, resets map[types.Object]bool,
+	as *ast.AssignStmt, lhs, rhs ast.Expr, chain []PathStep, reported map[string]bool) {
+
+	pass, mod := n.Pass, mp.Mod
+	var stored types.Type
+	var kind string
+	switch {
+	case isAppendTo(pass, lhs, rhs):
+		if resetAppend(pass, rhs) {
+			return // append(x[:0], ...): scratch reuse, not growth
+		}
+		t := pass.TypeOf(lhs)
+		if t == nil {
+			return
+		}
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return
+		}
+		stored, kind = sl.Elem(), "append"
+	default:
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		t := pass.TypeOf(ix.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return // fixed-slot slice/array store: does not grow
+		}
+		stored, kind = pass.TypeOf(lhs), "map insert"
+	}
+	if stored == nil || !containsRecordType(mod, stored) {
+		return // bounded accumulator: value carries no records (DESIGN.md §7)
+	}
+	obj := rootObject(pass, lhs)
+	if obj == nil || resets[obj] {
+		return
+	}
+	if du.ClassOf(obj) == ClassLocal && obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+		return // per-iteration state dies with the loop
+	}
+	key := mod.Fset.Position(as.Pos()).String()
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	where := ""
+	if len(chain) > 0 {
+		where = " (reached via " + renderSteps(chain) + " → " + n.DisplayName(mod) + ")"
+	}
+	mp.Reportf(as.Pos(), chain,
+		"unbounded growth: %s into %s inside a record loop materialises record-bearing state that outlives the loop%s; stream per record or use a bounded accumulator (DESIGN.md §7)",
+		kind, types.ExprString(lhs), where)
+}
+
+// recordLoop reports whether nd is a record-iteration loop: a range over
+// records (slice, array or channel of an internal/mnet Record type), or a
+// for loop whose body directly defines a Record-typed variable (the
+// `for { rec, err := dec.Decode() }` decoder idiom).
+func recordLoop(pass *Pass, mod *Module, nd ast.Node) (ast.Stmt, *ast.BlockStmt) {
+	switch nd := nd.(type) {
+	case *ast.RangeStmt:
+		t := pass.TypeOf(nd.X)
+		if t == nil {
+			return nil, nil
+		}
+		var elem types.Type
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			elem = u.Elem()
+		case *types.Array:
+			elem = u.Elem()
+		case *types.Chan:
+			elem = u.Elem()
+		}
+		if elem != nil && isRecordType(mod, elem) {
+			return nd, nd.Body
+		}
+	case *ast.ForStmt:
+		if definesRecordVar(pass, mod, nd.Body) {
+			return nd, nd.Body
+		}
+	}
+	return nil, nil
+}
+
+// definesRecordVar reports whether the loop body itself (not a nested
+// loop or literal) defines a Record-typed variable.
+func definesRecordVar(pass *Pass, mod *Module, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // nested scopes classify on their own
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && isRecordType(mod, obj.Type()) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRecordType matches the module's log record types: a named type
+// called Record declared under internal/mnet.
+func isRecordType(mod *Module, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Record" && obj.Pkg() != nil &&
+		strings.HasPrefix(obj.Pkg().Path(), mod.Name+"/internal/mnet")
+}
+
+// containsRecordType reports whether t transitively contains a record
+// type through struct fields, slices, arrays, maps and pointers.
+func containsRecordType(mod *Module, t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type, depth int) bool
+	walk = func(t types.Type, depth int) bool {
+		if t == nil || depth > 8 || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if isRecordType(mod, t) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			return walk(u.Elem(), depth+1)
+		case *types.Slice:
+			return walk(u.Elem(), depth+1)
+		case *types.Array:
+			return walk(u.Elem(), depth+1)
+		case *types.Map:
+			return walk(u.Key(), depth+1) || walk(u.Elem(), depth+1)
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type(), depth+1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(t, 0)
+}
+
+// resetObjects collects slice variables reset to zero length (x = x[:0])
+// anywhere in the loop body: the scratch-reuse idiom.
+func resetObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			se, ok := ast.Unparen(as.Rhs[i]).(*ast.SliceExpr)
+			if !ok || !isZeroConst(pass, se.High) {
+				continue
+			}
+			lo := rootObject(pass, lhs)
+			if lo != nil && lo == rootObject(pass, se.X) {
+				out[lo] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// resetAppend matches append(x[:0], ...): growth into a buffer the
+// caller resets first.
+func resetAppend(pass *Pass, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	se, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	return ok && isZeroConst(pass, se.High)
+}
+
+// isZeroConst reports whether e is the integer constant 0.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}

@@ -50,6 +50,12 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic,
 				if !ok {
 					continue
 				}
+				// The prefix must end at a word boundary: //wearlint:ignoreXYZ
+				// is not a directive (and must not silently parse as one), but
+				// a bare //wearlint:ignore still reports as malformed below.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
 				pos := fset.Position(c.Pos())
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// MergeableAnalyzer audits the merge half of shard-and-merge: every type
+// a shard callback returns (the per-shard accumulator shard.Map hands
+// back for merging) must merge deterministically under DESIGN.md §7's
+// exact-reduction rules — int sums, disjoint unions, concatenation in
+// shard order. Concretely, per result type:
+//
+//   - maps and slices pass: disjoint union (the Partition contract) and
+//     shard-order concatenation are exact;
+//   - non-float basics pass; bare floats flag (addition is a
+//     non-associative fold);
+//   - arrays merge per-slot and are judged by their element type;
+//   - internal/stats types pass: the floatfold sequential-canonical
+//     audit set already covers their folds (cross-check);
+//   - any other named type must declare a Merge (or merge) method, and
+//     that method's body must not accumulate floats — the same def-use
+//     oracle floatfold uses.
+//
+// Approximation rules (DESIGN.md §5): only the first result is judged
+// (the repo idiom returns one accumulator); map value types are not
+// recursed into (the disjoint-union contract covers the keys, and
+// per-value folds inside callbacks are floatfold's domain); callbacks
+// held in variables are not discovered (shardcb.go's shared rule).
+var MergeableAnalyzer = &Analyzer{
+	Name:      "mergeable",
+	Doc:       "shard accumulator result types must merge deterministically (int sums, disjoint unions) per DESIGN.md §7",
+	RunModule: runMergeable,
+}
+
+func runMergeable(mp *ModulePass) {
+	mod := mp.Mod
+	reported := map[string]bool{}
+	for _, cb := range shardCallbacks(mp) {
+		if cb.ft.Results == nil || len(cb.ft.Results.List) == 0 {
+			continue
+		}
+		resT := cb.pass.TypeOf(cb.ft.Results.List[0].Type)
+		if resT == nil {
+			continue
+		}
+		pos := cb.body.Pos()
+		key := mod.Fset.Position(pos).String()
+		if reported[key] {
+			continue
+		}
+		if msg := mergeableProblem(mp, resT); msg != "" {
+			reported[key] = true
+			mp.Reportf(pos, cb.chain,
+				"shard accumulator %s returns %s: %s (registered via %s; DESIGN.md §7)",
+				cb.name, resT.String(), msg, renderSteps(cb.chain))
+		}
+	}
+}
+
+// mergeableProblem judges one accumulator type; "" means it merges
+// deterministically.
+func mergeableProblem(mp *ModulePass, t types.Type) string {
+	mod := mp.Mod
+	t = derefAll(t)
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		t = derefAll(arr.Elem()) // per-slot merge: judge the element
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsFloat != 0 {
+			return "bare floats merge by addition, a non-associative fold — return integers or a stats accumulator"
+		}
+		return ""
+	case *types.Slice, *types.Map:
+		return "" // shard-order concatenation / disjoint union: exact
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "anonymous accumulator type cannot declare a deterministic Merge method — name it and add one"
+	}
+	if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() != mod.Name {
+		rel := relOfPkgPath(mod, pkg.Path())
+		if matchRel(rel, floatfoldCanonicalPkgs) {
+			return "" // the floatfold sequential-canonical audit set
+		}
+	}
+	var merge *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() == "Merge" || m.Name() == "merge" {
+			merge = m
+			break
+		}
+	}
+	if merge == nil {
+		return "no Merge method found; add a deterministic merge (int sums, disjoint unions) or return a map/slice"
+	}
+	node := mp.Graph.Nodes[merge.FullName()]
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return "" // foreign or bodiless Merge: nothing to audit
+	}
+	du := mod.FuncDefUse(node.Pass, node.Decl.Type, node.Decl.Body)
+	for i := range du.Writes {
+		if du.Writes[i].FloatAccum {
+			return named.Obj().Name() + "." + merge.Name() + " accumulates floats at " +
+				mod.Fset.Position(du.Writes[i].Pos).String() + ", a non-associative fold"
+		}
+	}
+	return ""
+}
+
+// derefAll strips pointer layers.
+func derefAll(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// relOfPkgPath converts an import path of this module to its
+// module-relative directory.
+func relOfPkgPath(mod *Module, path string) string {
+	if path == mod.Name {
+		return ""
+	}
+	if rest, ok := cutModulePrefix(path, mod.Name); ok {
+		return rest
+	}
+	return path
+}
+
+func cutModulePrefix(path, name string) (string, bool) {
+	prefix := name + "/"
+	if len(path) > len(prefix) && path[:len(prefix)] == prefix {
+		return path[len(prefix):], true
+	}
+	return "", false
+}

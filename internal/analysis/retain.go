@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RetainAnalyzer flags retention of reused scratch slabs past the
+// iteration that filled them — the corruption class the PR 4
+// scratch-reuse decoder optimisations made possible: a []byte that is
+// reset (x = x[:0]) or cap-guard regrown (if cap(x) < n { x = make... })
+// is overwritten by the next iteration, so any alias of it stored into
+// longer-lived state silently mutates later.
+//
+// A slab is a slice-typed variable or field with a reuse marker in the
+// lint unit. Violations, per function:
+//
+//   - returning the slab or an alias of it (bare, via a slice
+//     expression, or as a composite-literal element);
+//   - storing the slab or an alias into captured state, a map or slice
+//     element, or any target that is not a fresh local;
+//   - appending the slab header itself (append(out, buf) without ...)
+//     so the alias survives inside another slice.
+//
+// Approximation rules (DESIGN.md §5): an expression consumed by a call
+// is assumed copied or used within the call (string(buf),
+// append(dst, buf...), w.Write(buf) all pass) — retention through a
+// callee is not tracked; aliases are tracked through plain definitions
+// (buf := slab[:n]) only, not through struct fields or containers.
+var RetainAnalyzer = &Analyzer{
+	Name: "retain",
+	Doc:  "reused scratch slabs must not be aliased into state that outlives the iteration that filled them",
+	Run:  runRetain,
+}
+
+func runRetain(p *Pass) {
+	slabs := map[types.Object]bool{}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(nd ast.Node) bool {
+			collectSlabMarkers(p, nd, slabs)
+			return true
+		})
+	}
+	if len(slabs) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(nd ast.Node) bool {
+			fd, ok := nd.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			retainFunc(p, fd, slabs)
+			return false // retainFunc walks the whole body, nested literals included
+		})
+	}
+}
+
+// collectSlabMarkers records slice objects bearing a reuse marker: a
+// reset to zero length or a cap-guarded regrow.
+func collectSlabMarkers(p *Pass, nd ast.Node, slabs map[types.Object]bool) {
+	switch nd := nd.(type) {
+	case *ast.AssignStmt:
+		if len(nd.Lhs) != len(nd.Rhs) {
+			return
+		}
+		for i, lhs := range nd.Lhs {
+			se, ok := ast.Unparen(nd.Rhs[i]).(*ast.SliceExpr)
+			if !ok || !isZeroConst(p, se.High) {
+				continue
+			}
+			lo := slabObject(p, lhs)
+			if lo != nil && lo == slabObject(p, se.X) {
+				slabs[lo] = true // x = x[:0]: reset for reuse
+			}
+		}
+	case *ast.IfStmt:
+		obj := capGuardObj(p, nd.Cond)
+		if obj == nil {
+			return
+		}
+		ast.Inspect(nd.Body, func(inner ast.Node) bool {
+			as, ok := inner.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if slabObject(p, lhs) != obj {
+					continue
+				}
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+						slabs[obj] = true // if cap(x) < n { x = make(...) }: regrow for reuse
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// slabObject resolves a plain or selector expression to a slice-typed
+// object (local, param, or struct field).
+func slabObject(p *Pass, e ast.Expr) types.Object {
+	var obj types.Object
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(t)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(t.Sel)
+	default:
+		return nil
+	}
+	if obj == nil || obj.Type() == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	return obj
+}
+
+// capGuardObj matches a condition mentioning cap(x) and returns x's
+// object.
+func capGuardObj(p *Pass, cond ast.Expr) types.Object {
+	var obj types.Object
+	ast.Inspect(cond, func(nd ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "cap" {
+			return true
+		}
+		if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true
+		}
+		obj = slabObject(p, call.Args[0])
+		return obj == nil
+	})
+	return obj
+}
+
+// retainFunc flags slab-retention violations inside one declaration.
+func retainFunc(p *Pass, fd *ast.FuncDecl, slabs map[types.Object]bool) {
+	du := newDefUse(p, fd.Type, fd.Body)
+	aliases := map[types.Object]bool{}
+
+	// isSlabRef reports whether e reads a slab or alias directly: bare
+	// name, selector, or slice expression over one.
+	var isSlabRef func(e ast.Expr) bool
+	isSlabRef = func(e ast.Expr) bool {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			return isSlabRef(t.X)
+		case *ast.Ident, *ast.SelectorExpr:
+			o := slabObject(p, e)
+			return o != nil && (slabs[o] || aliases[o])
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, what, how string) {
+		p.Reportf(pos,
+			"slab retention: %s %s a reused scratch buffer past the iteration that filled it; copy first (string(buf) or append([]byte(nil), buf...)) (DESIGN.md §5)",
+			what, how)
+	}
+
+	// flagReturned flags slab refs inside a return result, descending
+	// composite literals but treating calls as copies.
+	var flagReturned func(e ast.Expr)
+	flagReturned = func(e ast.Expr) {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			for _, el := range t.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					flagReturned(kv.Value)
+					continue
+				}
+				flagReturned(el)
+			}
+		case *ast.UnaryExpr:
+			flagReturned(t.X)
+		default:
+			if isSlabRef(e) {
+				report(e.Pos(), types.ExprString(e), "returns")
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			if len(nd.Lhs) != len(nd.Rhs) {
+				return true
+			}
+			for i := range nd.Lhs {
+				lhs, rhs := nd.Lhs[i], nd.Rhs[i]
+				// append(out, buf) without ... keeps the alias alive inside
+				// another slice; append(out, buf...) copies the bytes.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+						if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); isBuiltin && call.Ellipsis == token.NoPos {
+							for _, arg := range call.Args[1:] {
+								if isSlabRef(arg) {
+									report(arg.Pos(), types.ExprString(arg), "appends")
+								}
+							}
+						}
+					}
+				}
+				if !isSlabRef(rhs) {
+					continue
+				}
+				// Storing into the slab itself is the reuse pattern.
+				if so := slabObject(p, lhs); so != nil && slabs[so] {
+					continue
+				}
+				lobj := rootObject(p, lhs)
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && nd.Tok == token.DEFINE {
+					if o := p.Info.Defs[id]; o != nil {
+						aliases[o] = true // buf := slab[:n] — a fresh local alias
+						continue
+					}
+				}
+				_, isIndex := ast.Unparen(lhs).(*ast.IndexExpr)
+				if isIndex || lobj == nil || du.ClassOf(lobj) != ClassLocal {
+					report(nd.Pos(), types.ExprString(lhs), "stores")
+					continue
+				}
+				aliases[lobj] = true // plain local reassignment: track the alias
+			}
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				flagReturned(res)
+			}
+		}
+		return true
+	})
+}

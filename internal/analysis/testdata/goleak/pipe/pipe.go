@@ -1,0 +1,19 @@
+// Package pipe holds the named worker bodies the spawn fixtures
+// launch: one parked drain with no exit discipline, one feeder whose
+// completion close bounds it.
+package pipe
+
+// Pump drains ch forever: a blocking body with no bounded exit.
+func Pump(ch chan int) {
+	for range ch {
+	}
+}
+
+// Feed pushes n values and closes the channel when finished: the
+// completion-close discipline.
+func Feed(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}

@@ -1,0 +1,97 @@
+// Package spawn exercises every goleak verdict: the flagged spawns
+// (literal, named-with-chain, bodiless blocking leaf, blocking callee
+// inside a literal) and each of the four exit disciplines, which must
+// stay silent.
+package spawn
+
+import (
+	"sync"
+
+	"wearwild/internal/mnet/pipe"
+)
+
+// LeakLiteral blocks on a receive from a channel no one is guaranteed
+// to fill.
+func LeakLiteral() {
+	results := make(chan int)
+	go func() { // want goleak
+		<-results
+	}()
+}
+
+// LeakNamed launches the blocking named worker with no join: the
+// finding lands on the go statement and carries the spawn step.
+func LeakNamed(ch chan int) {
+	go pipe.Pump(ch) // want goleak
+}
+
+// LeakViaCall spawns a literal whose only blocking act is the call
+// into the parked worker: the out-edge, not the body, is the evidence.
+func LeakViaCall(ch chan int) {
+	go func() { // want goleak
+		pipe.Pump(ch)
+	}()
+}
+
+// LeakWait parks a bodiless blocking leaf directly.
+func LeakWait(wg *sync.WaitGroup) {
+	go wg.Wait() // want goleak
+}
+
+// JoinedWorker carries a WaitGroup join: clean.
+func JoinedWorker(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+		}
+	}()
+}
+
+// DoneSelect selects on a shutdown channel: clean.
+func DoneSelect(work chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// BufferedHandoff sends its one result into a channel made with
+// capacity 1 in the spawner and runs off its end: clean.
+func BufferedHandoff(run func() int) chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- run()
+	}()
+	return out
+}
+
+// Closer spawns the named feeder whose completion close bounds it:
+// clean.
+func Closer(n int) chan int {
+	ch := make(chan int)
+	go pipe.Feed(ch, n)
+	return ch
+}
+
+// DynamicSpawn launches through a func value: unresolvable, silent by
+// the documented under-approximation.
+func DynamicSpawn(ch chan int) {
+	f := func() {
+		<-ch
+	}
+	go f()
+}
+
+// NonBlocking spawns a body that cannot park: silent, bounded by its
+// own code.
+func NonBlocking(counter *int) {
+	go func() {
+		*counter = *counter + 1
+	}()
+}

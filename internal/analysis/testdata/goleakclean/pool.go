@@ -1,0 +1,49 @@
+// Package pool mounts at internal/shard and uses every sanctioned
+// spawn discipline in one worker-pool idiom: WaitGroup-joined workers,
+// a done-channel drain, a buffered error handoff and a completion
+// close. Zero findings.
+package pool
+
+import "sync"
+
+// Fan runs n joined workers over jobs and closes out when they finish.
+func Fan(n int, jobs chan int) chan int {
+	out := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out <- j * j
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Watch drains events until the stop channel fires.
+func Watch(events chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-events:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Start hands its result off on a buffered channel and returns.
+func Start(run func() error) chan error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- run()
+	}()
+	return errs
+}

@@ -1,0 +1,17 @@
+// Package gen is not reachable from the study or decoder roots: the
+// very loop growbound flags elsewhere stays silent here, pinning the
+// reachability scope — generators legitimately build record slices.
+package gen
+
+import "wearwild/internal/mnet/proxylog"
+
+// Emit builds a record slice the generator way — outside growbound's
+// audited surface.
+func Emit(n int) []proxylog.Record {
+	var out []proxylog.Record
+	for i := 0; i < n; i++ {
+		rec := proxylog.Record{User: "u", Host: "h"}
+		out = append(out, rec)
+	}
+	return out
+}

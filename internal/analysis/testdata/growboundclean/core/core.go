@@ -1,0 +1,61 @@
+// Package core is the growbound clean tree: every record loop uses a
+// sanctioned bounded shape — per-population counts, fixed slots,
+// reset scratch, per-iteration locals — and the check must stay
+// silent over all of it.
+package core
+
+import "wearwild/internal/mnet/proxylog"
+
+// Tally streams a decoder into per-user counts: bounded by the
+// population, not the record count.
+func Tally(d *proxylog.Decoder) map[string]int {
+	counts := make(map[string]int)
+	for {
+		rec, err := d.Decode()
+		if err != nil {
+			break
+		}
+		counts[rec.User] = counts[rec.User] + 1
+	}
+	return counts
+}
+
+// Hot keeps the busiest record per fixed slot.
+func Hot(recs []proxylog.Record) [8]proxylog.Record {
+	var slots [8]proxylog.Record
+	for i, r := range recs {
+		slots[i%8] = r
+	}
+	return slots
+}
+
+// Spread publishes one record per own-indexed shard slot of a
+// pre-sized slice: a fixed-slot write, not growth.
+func Spread(recs []proxylog.Record) []proxylog.Record {
+	slots := make([]proxylog.Record, len(recs))
+	for i, r := range recs {
+		slots[i] = r
+	}
+	return slots
+}
+
+// Window reuses reset scratch across iterations.
+func Window(recs []proxylog.Record) int {
+	var buf []proxylog.Record
+	total := 0
+	for _, r := range recs {
+		buf = append(buf[:0], r)
+		total += len(buf)
+	}
+	return total
+}
+
+// Walk builds per-iteration state that dies with the loop body.
+func Walk(recs []proxylog.Record) int {
+	n := 0
+	for _, r := range recs {
+		pair := []proxylog.Record{r, r}
+		n += len(pair)
+	}
+	return n
+}

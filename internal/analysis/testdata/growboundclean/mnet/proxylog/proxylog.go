@@ -1,0 +1,44 @@
+// Package proxylog is the clean-tree codec: the Record type plus a
+// decoder consumed strictly per record.
+package proxylog
+
+import "errors"
+
+// ErrDone signals decoder exhaustion.
+var ErrDone = errors.New("done")
+
+// Record is one proxy log row.
+type Record struct {
+	User string
+	Host string
+}
+
+// Decoder yields records one at a time.
+type Decoder struct {
+	recs []Record
+	i    int
+}
+
+// Decode returns the next record.
+func (d *Decoder) Decode() (Record, error) {
+	if d.i >= len(d.recs) {
+		return Record{}, ErrDone
+	}
+	r := d.recs[d.i]
+	d.i++
+	return r, nil
+}
+
+// Bytes streams the decoder into a scalar: nothing outlives an
+// iteration.
+func Bytes(d *Decoder) int {
+	total := 0
+	for {
+		rec, err := d.Decode()
+		if err != nil {
+			break
+		}
+		total += len(rec.Host)
+	}
+	return total
+}

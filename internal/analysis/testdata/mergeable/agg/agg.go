@@ -1,0 +1,135 @@
+// Package agg registers shard callbacks across every mergeable
+// verdict: bare floats, anonymous and Merge-less accumulators, a
+// float-folding Merge, a wrapped registration that must carry its
+// chain, and the clean exact-merge spellings.
+package agg
+
+import (
+	"wearwild/internal/shard"
+	"wearwild/internal/stats"
+	"wearwild/internal/wrap"
+)
+
+// tally lacks a Merge method.
+type tally struct {
+	hits int
+}
+
+// acc declares a Merge that folds floats: non-associative.
+type acc struct {
+	sum float64
+}
+
+// Merge folds the other shard's float sum in.
+func (a *acc) Merge(o acc) {
+	a.sum += o.sum
+}
+
+// counts merges by integer sums: exact.
+type counts struct {
+	n int
+}
+
+// Merge adds the other shard's count.
+func (c *counts) Merge(o counts) {
+	c.n = c.n + o.n
+}
+
+// FloatSums returns a bare float per shard: addition is a
+// non-associative fold.
+func FloatSums(rows [][]float64) []float64 {
+	return shard.Map(rows, 2, func(i int, s []float64) float64 { // want mergeable
+		total := 0.0
+		for _, v := range s {
+			total = total + v
+		}
+		return total
+	})
+}
+
+// Anon returns an anonymous accumulator: no place to hang a Merge.
+func Anon(rows [][]float64) []struct{ N int } {
+	return shard.Map(rows, 2, func(i int, s []float64) struct{ N int } { // want mergeable
+		return struct{ N int }{N: len(s)}
+	})
+}
+
+// NoMerge returns a named type with no Merge method.
+func NoMerge(rows [][]float64) []tally {
+	return shard.Map(rows, 2, func(i int, s []float64) tally { // want mergeable
+		return tally{hits: len(s)}
+	})
+}
+
+// FloatMerge returns a type whose Merge accumulates floats.
+func FloatMerge(rows [][]float64) []acc {
+	return shard.Map(rows, 2, func(i int, s []float64) acc { // want mergeable
+		return acc{}
+	})
+}
+
+// Wrapped registers through the forwarding wrapper: the finding must
+// carry the two-step chain.
+func Wrapped(rows [][]float64) []float64 {
+	return wrap.Go(rows, func(i int, s []float64) float64 { // want mergeable
+		return 0
+	})
+}
+
+// namedFloat is the named-callback spelling of the bare-float case.
+func namedFloat(i int, s []float64) float64 { // want mergeable
+	return float64(len(s))
+}
+
+// NamedReg registers the named callback.
+func NamedReg(rows [][]float64) []float64 {
+	return shard.Map(rows, 2, namedFloat)
+}
+
+// IntSums merges exactly: per-shard ints.
+func IntSums(rows [][]float64) []int {
+	return shard.Map(rows, 2, func(i int, s []float64) int {
+		return len(s)
+	})
+}
+
+// Grouped returns a map: the Partition contract makes the union
+// disjoint, hence exact.
+func Grouped(rows [][]float64) []map[string]int {
+	return shard.Map(rows, 2, func(i int, s []float64) map[string]int {
+		return map[string]int{"n": len(s)}
+	})
+}
+
+// Counted returns the int-Merge accumulator: clean.
+func Counted(rows [][]float64) []counts {
+	return shard.Map(rows, 2, func(i int, s []float64) counts {
+		return counts{n: len(s)}
+	})
+}
+
+// Moments returns the canonical stats accumulator: the floatfold audit
+// set covers its folds.
+func Moments(rows [][]float64) []*stats.Welford {
+	return shard.Map(rows, 2, func(i int, s []float64) *stats.Welford {
+		w := &stats.Welford{}
+		for _, v := range s {
+			w.Add(v)
+		}
+		return w
+	})
+}
+
+// Slots returns a fixed int array: per-slot exact sums.
+func Slots(rows [][]float64) [][2]int {
+	return shard.Map(rows, 2, func(i int, s []float64) [2]int {
+		return [2]int{i, len(s)}
+	})
+}
+
+// Sideline runs a no-result callback: nothing to merge.
+func Sideline(rows [][]float64) {
+	shard.Run(len(rows), 2, func(i int) {
+		_ = rows[i]
+	})
+}

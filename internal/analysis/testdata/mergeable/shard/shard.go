@@ -1,0 +1,20 @@
+// Package shard is the fixture stand-in for the real shard runtime,
+// with the Map entry point whose result types the mergeable check
+// audits.
+package shard
+
+// Run executes fn(i) for i in [0, n).
+func Run(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Map executes fn per shard and collects the per-shard accumulators.
+func Map[S, T any](shards []S, workers int, fn func(i int, s S) T) []T {
+	out := make([]T, len(shards))
+	for i, s := range shards {
+		out[i] = fn(i, s)
+	}
+	return out
+}

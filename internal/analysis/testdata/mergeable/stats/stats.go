@@ -1,0 +1,16 @@
+// Package stats mounts at internal/stats, the sequential-canonical
+// set: its accumulators are merged by the audited fold paths floatfold
+// already covers, so mergeable must accept them without a Merge
+// method.
+package stats
+
+// Welford is a running-moment accumulator.
+type Welford struct {
+	n, mean float64
+}
+
+// Add folds one sample in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	w.mean += (x - w.mean) / w.n
+}

@@ -1,0 +1,10 @@
+// Package wrap forwards callbacks to the shard runtime: registrations
+// through it must carry the forwarding chain on their diagnostics.
+package wrap
+
+import "wearwild/internal/shard"
+
+// Go hands fn straight to shard.Map: a one-hop wrapper.
+func Go(rows [][]float64, fn func(i int, s []float64) float64) []float64 {
+	return shard.Map(rows, 2, fn)
+}

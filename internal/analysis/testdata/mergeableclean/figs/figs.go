@@ -1,0 +1,50 @@
+// Package figs is the mergeable clean tree: every shard accumulator
+// merges exactly — int sums, disjoint unions, shard-order
+// concatenation and a named type with an integer Merge. Zero findings.
+package figs
+
+import "wearwild/internal/shard"
+
+// hist merges by integer sums.
+type hist struct {
+	buckets [8]int
+}
+
+// Merge adds the other shard's buckets slot by slot.
+func (h *hist) Merge(o hist) {
+	for i := range h.buckets {
+		h.buckets[i] = h.buckets[i] + o.buckets[i]
+	}
+}
+
+// Counts returns per-shard ints.
+func Counts(rows [][]int) []int {
+	return shard.Map(rows, 2, func(i int, s []int) int {
+		return len(s)
+	})
+}
+
+// Groups returns disjoint per-shard maps.
+func Groups(rows [][]int) []map[int]int {
+	return shard.Map(rows, 2, func(i int, s []int) map[int]int {
+		return map[int]int{i: len(s)}
+	})
+}
+
+// Rows returns per-shard slices for shard-order concatenation.
+func Rows(rows [][]int) [][]int {
+	return shard.Map(rows, 2, func(i int, s []int) []int {
+		return append([]int(nil), s...)
+	})
+}
+
+// Hists returns the integer-Merge accumulator.
+func Hists(rows [][]int) []hist {
+	return shard.Map(rows, 2, func(i int, s []int) hist {
+		var h hist
+		for _, v := range s {
+			h.buckets[v%8] = h.buckets[v%8] + 1
+		}
+		return h
+	})
+}

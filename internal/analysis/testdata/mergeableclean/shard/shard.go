@@ -1,0 +1,11 @@
+// Package shard is the clean-tree stand-in for the shard runtime.
+package shard
+
+// Map executes fn per shard and collects the per-shard accumulators.
+func Map[S, T any](shards []S, workers int, fn func(i int, s S) T) []T {
+	out := make([]T, len(shards))
+	for i, s := range shards {
+		out[i] = fn(i, s)
+	}
+	return out
+}

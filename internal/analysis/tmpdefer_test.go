@@ -3,7 +3,7 @@ package analysis
 import "testing"
 
 func TestTmpDeferUnlock(t *testing.T) {
-	_, diags := runTree(t, "tmpdefer", "internal/hotfix", ShardpureAnalyzer)
+	_, diags := runTree(t, "tmpdefer", "internal", ShardpureAnalyzer)
 	for _, d := range diags {
 		t.Logf("DIAG: %s:%d %s: %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
 	}

@@ -198,6 +198,7 @@ func (s *Study) appFigures(res *Results, attributed []appid.Attributed) {
 		tx       float64
 		bytes    float64
 	}
+	//wearlint:ignore mergeable kindAgg's floats only ever hold integer counts below 2^53, so the inline per-slot sums below are exact per DESIGN.md §7
 	kindParts := shard.Map(s.wearShards, s.workers(), func(_ int, recs []proxylog.Record) *[apps.NumDomainKinds]kindAgg {
 		var ks [apps.NumDomainKinds]kindAgg
 		for i := range ks {

@@ -374,6 +374,11 @@ func (p *Proxy) dial(host string, isTLS bool) (net.Conn, error) {
 	case r := <-ch:
 		return r.c, r.err
 	case <-t.C:
+		// The reaper's receive is bounded by the dialer goroutine above,
+		// which always sends exactly one result into the buffered channel;
+		// the reaper lives precisely as long as the in-flight dial it
+		// exists to clean up after.
+		//wearlint:ignore goleak reaper blocks only until the single buffered dial result arrives, then closes the late conn and exits
 		go func() {
 			if r := <-ch; r.c != nil {
 				_ = r.c.Close()

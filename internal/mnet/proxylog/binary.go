@@ -295,6 +295,7 @@ func ReadBinary(r io.Reader) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
+		//wearlint:ignore growbound ReadBinary is the whole-log convenience API; stream callers use Decoder.Decode record by record
 		out = append(out, rec)
 	}
 }

@@ -114,6 +114,7 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("proxylog: line %d: %w", line, err)
 		}
+		//wearlint:ignore growbound ReadCSV is the whole-log convenience API; stream callers iterate rows themselves
 		out = append(out, rec)
 	}
 }

@@ -41,6 +41,11 @@ type Harness struct {
 	tlsLn  net.Listener
 	httpLn net.Listener
 
+	// wg joins every goroutine the harness spawns — the origin accept
+	// loops, the proxy server and the per-connection handlers — so Close
+	// does not return while harness code is still running.
+	wg sync.WaitGroup
+
 	mu       sync.Mutex
 	captured []proxylog.Record
 }
@@ -57,6 +62,7 @@ func NewHarness() (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.wg.Add(1)
 	go h.serveTLSOrigin()
 
 	h.httpLn, err = net.Listen("tcp", "127.0.0.1:0")
@@ -64,6 +70,7 @@ func NewHarness() (*Harness, error) {
 		_ = h.tlsLn.Close()
 		return nil, err
 	}
+	h.wg.Add(1)
 	go h.serveHTTPOrigin()
 
 	proxy, err := netproxy.New(netproxy.Config{
@@ -93,15 +100,22 @@ func NewHarness() (*Harness, error) {
 		return nil, err
 	}
 	h.proxyAddr = ln.Addr().String()
-	go func() { _ = proxy.Serve(ln) }()
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		_ = proxy.Serve(ln)
+	}()
 	return h, nil
 }
 
-// Close stops the proxy and origins.
+// Close stops the proxy and origins and waits for every harness
+// goroutine to drain: the accept loops exit when their listeners close,
+// and the per-connection handlers are bounded by their 15s deadlines.
 func (h *Harness) Close() {
 	_ = h.proxy.Close()
 	_ = h.tlsLn.Close()
 	_ = h.httpLn.Close()
+	h.wg.Wait()
 }
 
 // Captured returns a snapshot of the proxy's log.
@@ -186,12 +200,15 @@ func (h *Harness) replayHTTP(rec proxylog.Record) error {
 
 // serveTLSOrigin answers the length-prefixed echo protocol.
 func (h *Harness) serveTLSOrigin() {
+	defer h.wg.Done()
 	for {
 		c, err := h.tlsLn.Accept()
 		if err != nil {
 			return
 		}
+		h.wg.Add(1)
 		go func(c net.Conn) {
+			defer h.wg.Done()
 			defer c.Close()
 			_ = c.SetDeadline(time.Now().Add(15 * time.Second))
 			var header [8]byte
@@ -211,12 +228,15 @@ func (h *Harness) serveTLSOrigin() {
 
 // serveHTTPOrigin answers GETs with an X-Want-sized body.
 func (h *Harness) serveHTTPOrigin() {
+	defer h.wg.Done()
 	for {
 		c, err := h.httpLn.Accept()
 		if err != nil {
 			return
 		}
+		h.wg.Add(1)
 		go func(c net.Conn) {
+			defer h.wg.Done()
 			defer c.Close()
 			_ = c.SetDeadline(time.Now().Add(15 * time.Second))
 			br := bufio.NewReader(c)
