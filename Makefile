@@ -39,8 +39,10 @@ fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/mnet/... ./internal/analysis
 
 # Small-scale end-to-end benchmark: emits BENCH.json (timings, allocs,
-# sequential-vs-parallel determinism cross-check) and fails when a phase
-# regressed more than 2x against a committed baseline. The repo commits
+# study peak heap, sequential-vs-parallel determinism cross-check) and
+# fails when a phase timing — or study peak heap, the bounded-memory
+# contract of DESIGN.md §8 — regressed more than 2x against a committed
+# baseline. The repo commits
 # one BENCH_PR<n>.json per PR; the glob picks the best-matching report
 # (same -small flag, closest NumCPU/GOMAXPROCS to this host). The
 # parallel-speedup floor is skipped on single-CPU hosts and the skip is

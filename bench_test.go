@@ -316,10 +316,16 @@ func BenchmarkThroughDevice(b *testing.B) {
 // Codec ablation: the compact binary proxy-log codec vs CSV.
 func benchProxyRecords(b *testing.B) []proxylog.Record {
 	b.Helper()
-	s := benchSetup(b)
-	recs := s.WearableRecords()
-	if len(recs) > 50000 {
-		recs = recs[:50000]
+	benchSetup(b)
+	var recs []proxylog.Record
+	for _, rec := range benchDS.Proxy.Records {
+		if !benchDS.Devices.IsWearable(rec.IMEI) {
+			continue
+		}
+		recs = append(recs, rec)
+		if len(recs) == 50000 {
+			break
+		}
 	}
 	return recs
 }

@@ -37,6 +37,10 @@ type BenchReport struct {
 	StudySeqAllocBytes uint64  `json:"study_sequential_alloc_bytes"`
 	StudyParMs         float64 `json:"study_parallel_ms"`
 	StudyParAllocBytes uint64  `json:"study_parallel_alloc_bytes"`
+	// StudyPeakHeapBytes is the highest heap occupancy (HeapAlloc) sampled
+	// while the parallel study ran: the figure the bounded-memory contract
+	// gates on, as opposed to the cumulative TotalAlloc deltas above.
+	StudyPeakHeapBytes uint64 `json:"study_peak_heap_bytes"`
 	// SpeedupStudy is sequential/parallel wall-clock (>1 means faster).
 	SpeedupStudy float64 `json:"speedup_study"`
 	// SpeedupGateSkipped records that the parallel-speedup assertion did
@@ -70,6 +74,49 @@ func timed(fn func() error) (ms float64, allocBytes uint64, err error) {
 	ms = float64(time.Since(t0).Nanoseconds()) / 1e6
 	allocBytes = allocSnapshot() - a0
 	return ms, allocBytes, err
+}
+
+// peakHeapDuring runs fn while a sampler goroutine records the highest
+// heap occupancy (HeapAlloc) observed. It settles the heap with a GC
+// first so the figure measures fn, not leftovers from earlier phases,
+// and folds in one final post-run reading so short bursts between the
+// last tick and return still count.
+func peakHeapDuring(fn func() error) (peak uint64, err error) {
+	runtime.GC()
+	read := func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	peak = read()
+	done := make(chan struct{})
+	sampled := make(chan uint64, 1)
+	go func() {
+		defer close(sampled)
+		max := uint64(0)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				sampled <- max
+				return
+			case <-tick.C:
+				if h := read(); h > max {
+					max = h
+				}
+			}
+		}
+	}()
+	err = fn()
+	close(done)
+	if max := <-sampled; max > peak {
+		peak = max
+	}
+	if h := read(); h > peak {
+		peak = h
+	}
+	return peak, err
 }
 
 // runBenchJSON executes the benchmark protocol and writes the report.
@@ -108,8 +155,11 @@ func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, w
 	if err != nil {
 		return err
 	}
-	rep.StudyParMs, rep.StudyParAllocBytes, err = timed(func() error {
-		parRes, err = wearwild.RunStudyWith(ds, parCfg)
+	rep.StudyPeakHeapBytes, err = peakHeapDuring(func() error {
+		rep.StudyParMs, rep.StudyParAllocBytes, err = timed(func() error {
+			parRes, err = wearwild.RunStudyWith(ds, parCfg)
+			return err
+		})
 		return err
 	})
 	if err != nil {
@@ -259,8 +309,11 @@ func resolveBaseline(path string, rep *BenchReport) (string, error) {
 }
 
 // checkBaseline fails when a timing regressed more than 2x against the
-// committed baseline. Only the two end-to-end phases gate: per-figure
-// timings are informational (too noisy at -small scale on shared CI).
+// committed baseline, or when study peak heap grew past the same 2x bar
+// (the bounded-memory contract). Only the end-to-end phases gate:
+// per-figure timings are informational (too noisy at -small scale on
+// shared CI). Baselines predating the peak-heap field record zero and
+// skip the memory gate.
 func checkBaseline(rep *BenchReport, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -281,5 +334,14 @@ func checkBaseline(rep *BenchReport, path string) error {
 	if err := check("generate", rep.GenerateMs, base.GenerateMs); err != nil {
 		return err
 	}
-	return check("study", rep.StudyParMs, base.StudyParMs)
+	if err := check("study", rep.StudyParMs, base.StudyParMs); err != nil {
+		return err
+	}
+	if base.StudyPeakHeapBytes > 0 &&
+		float64(rep.StudyPeakHeapBytes) > float64(base.StudyPeakHeapBytes)*maxRegression {
+		return fmt.Errorf("study peak heap regressed %.1fx (%d bytes vs baseline %d, limit %.1fx)",
+			float64(rep.StudyPeakHeapBytes)/float64(base.StudyPeakHeapBytes),
+			rep.StudyPeakHeapBytes, base.StudyPeakHeapBytes, maxRegression)
+	}
+	return nil
 }

@@ -8,9 +8,10 @@
 //	wearbench -small -bench-json [-workers N] [-bench-baseline BENCH_BASELINE.json]
 //
 // -bench-json replaces the report with a machine-readable benchmark of
-// the pipeline (timings, allocations, sequential-vs-parallel speedup and
-// determinism cross-check); -bench-baseline additionally fails the run
-// when a phase regressed more than 2x against a committed baseline. It
+// the pipeline (timings, allocations, study peak heap,
+// sequential-vs-parallel speedup and determinism cross-check);
+// -bench-baseline additionally fails the run when a phase timing or the
+// study's peak heap regressed more than 2x against a committed baseline. It
 // defaults to the tracked BENCH_BASELINE.json and is skipped with a note
 // when that default is absent; pass -bench-baseline "" to disable. The
 // path may be a glob ('BENCH_*.json'): the repo commits one report per

@@ -604,8 +604,9 @@ func checkFixtureMessages(t *testing.T) {
 // TestLoadTreeGrowbound pins the unbounded-growth check over the
 // seeded tree: both growth spellings flag in the root package without
 // a chain, the helper one hop below the root carries its chain, the
-// unreachable generator and the exempt stats package stay silent, and
-// every sanctioned bounded shape passes.
+// reachable-but-exempt generator and the exempt stats package stay
+// silent, the returned-regroup and channel-drain shapes flag despite
+// the bounded-regroup rule, and every sanctioned bounded shape passes.
 func TestLoadTreeGrowbound(t *testing.T) {
 	diags := checkTree(t, "growbound", "internal", GrowboundAnalyzer)
 
@@ -724,9 +725,10 @@ func TestLoadTreeGoleakClean(t *testing.T) {
 }
 
 // TestLoadTreeMergeable pins the accumulator audit: bare floats,
-// anonymous and Merge-less types and a float-folding Merge all flag,
-// the wrapped registration carries its two-step chain, and the exact
-// merges (ints, maps, slices, int-Merge, stats types) pass.
+// anonymous types, a float-fielded Merge-less type and a float-folding
+// Merge all flag, the wrapped registration carries its two-step chain,
+// and the exact merges (ints, maps, slices, int-Merge, stats types,
+// field-wise Merge-less structs) pass.
 func TestLoadTreeMergeable(t *testing.T) {
 	diags := checkTree(t, "mergeable", "internal", MergeableAnalyzer)
 

@@ -26,8 +26,20 @@ import (
 //     own-indexed shard slots and fixed-size arrays do not grow.
 //   - A slice reset to zero length inside the same loop (x = x[:0], or
 //     append(x[:0], ...)) is scratch reuse, not growth.
+//   - Bounded-by-input regrouping passes: when the loop ranges over a
+//     slice or array parameter and the growth target is a local that no
+//     return statement mentions, the function's residency is bounded by
+//     its own input — on the streaming paths that input is one shard's
+//     or one subscriber's records, never the whole log. Channel subjects
+//     never qualify (a live tail is unbounded input), and locals that
+//     escape through a return keep flagging: that is exactly the
+//     materialise-and-hand-back habit the check exists to stop.
 //   - internal/stats is exempt wholesale: its sketches and histograms
 //     are the bounded accumulators the streaming engine will keep.
+//   - The generator tree (internal/gen/...) is exempt: producers build
+//     the record slices the study consumes; their output is the input
+//     whose materialisation is the simulation itself, not a study-path
+//     leak.
 //   - Growth through a call boundary (passing the accumulator to a
 //     helper that appends) is not tracked — the usual dataflow-layer
 //     under-approximation.
@@ -42,10 +54,17 @@ var GrowboundAnalyzer = &Analyzer{
 // defines the audited surface.
 var growboundRootPkgs = []string{
 	"internal/core",
+	"internal/stream",
 	"internal/mnet/proxylog",
 	"internal/mnet/mme",
 	"internal/mnet/udr",
 }
+
+// growboundExemptPkgs lists producer packages whose job is to build the
+// record logs the study consumes; reachability may pull them in (the
+// engine can stream straight from a generator source), but their appends
+// are the dataset, not a study-path materialisation.
+var growboundExemptPkgs = []string{"internal/gen/..."}
 
 // growboundBoundedPkgs lists packages whose accumulators are bounded by
 // construction (fixed-width sketches, capped histograms); see the
@@ -63,7 +82,8 @@ func runGrowbound(mp *ModulePass) {
 	reach := g.ReachableFrom(roots)
 	reported := map[string]bool{}
 	g.Walk(func(n *Node) {
-		if n.Decl == nil || n.Decl.Body == nil || n.Test || matchRel(n.Rel, growboundBoundedPkgs) {
+		if n.Decl == nil || n.Decl.Body == nil || n.Test || matchRel(n.Rel, growboundBoundedPkgs) ||
+			matchRel(n.Rel, growboundExemptPkgs) {
 			return
 		}
 		if !reach.Contains(n) {
@@ -144,6 +164,9 @@ func growboundAssign(mp *ModulePass, n *Node, du *DefUse, loop ast.Stmt, resets 
 	if du.ClassOf(obj) == ClassLocal && obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
 		return // per-iteration state dies with the loop
 	}
+	if boundedRegroup(pass, du, loop, n.Decl.Body, obj) {
+		return // regroup of a parameter slice into a non-escaping local
+	}
 	key := mod.Fset.Position(as.Pos()).String()
 	if reported[key] {
 		return
@@ -156,6 +179,65 @@ func growboundAssign(mp *ModulePass, n *Node, du *DefUse, loop ast.Stmt, resets 
 	mp.Reportf(as.Pos(), chain,
 		"unbounded growth: %s into %s inside a record loop materialises record-bearing state that outlives the loop%s; stream per record or use a bounded accumulator (DESIGN.md §7)",
 		kind, types.ExprString(lhs), where)
+}
+
+// boundedRegroup reports whether a growth write is the bounded-by-input
+// regroup shape: the record loop ranges over a slice or array parameter,
+// the target is a local declared in the function body, and no return
+// statement mentions that local. Such a function's peak residency is a
+// constant factor of its own input — on the streaming paths the input is
+// one shard's or one subscriber's records — and the regrouped state dies
+// when the call returns. A channel subject never qualifies (a tail is
+// unbounded input), and a returned local is the materialise-and-hand-back
+// habit the check targets, so both keep flagging.
+func boundedRegroup(pass *Pass, du *DefUse, loop ast.Stmt, fnBody *ast.BlockStmt, obj types.Object) bool {
+	rs, ok := loop.(*ast.RangeStmt)
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return false // channels (and maps of records) are not bounded inputs
+	}
+	subj := rootObject(pass, rs.X)
+	if subj == nil || du.ClassOf(subj) != ClassParam {
+		return false
+	}
+	if du.ClassOf(obj) != ClassLocal {
+		return false
+	}
+	return !usedInReturns(pass, fnBody, obj)
+}
+
+// usedInReturns reports whether any return statement in body (including
+// inside nested function literals) mentions obj.
+func usedInReturns(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if ok && pass.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
 }
 
 // recordLoop reports whether nd is a record-iteration loop: a range over

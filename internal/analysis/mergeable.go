@@ -19,7 +19,11 @@ import (
 //     audit set already covers their folds (cross-check);
 //   - any other named type must declare a Merge (or merge) method, and
 //     that method's body must not accumulate floats — the same def-use
-//     oracle floatfold uses.
+//     oracle floatfold uses;
+//   - a Merge-less named struct still passes when every field is itself
+//     mergeable under these rules (recursively): field-wise merging of
+//     exact parts is exact, so demanding a method would only force
+//     boilerplate. One bare-float field sinks the whole struct.
 //
 // Approximation rules (DESIGN.md §5): only the first result is judged
 // (the repo idiom returns one accumulator); map value types are not
@@ -48,7 +52,7 @@ func runMergeable(mp *ModulePass) {
 		if reported[key] {
 			continue
 		}
-		if msg := mergeableProblem(mp, resT); msg != "" {
+		if msg := mergeableProblem(mp, resT, map[types.Type]bool{}); msg != "" {
 			reported[key] = true
 			mp.Reportf(pos, cb.chain,
 				"shard accumulator %s returns %s: %s (registered via %s; DESIGN.md §7)",
@@ -58,8 +62,9 @@ func runMergeable(mp *ModulePass) {
 }
 
 // mergeableProblem judges one accumulator type; "" means it merges
-// deterministically.
-func mergeableProblem(mp *ModulePass, t types.Type) string {
+// deterministically. seen guards the structural field recursion against
+// cyclic types.
+func mergeableProblem(mp *ModulePass, t types.Type, seen map[types.Type]bool) string {
 	mod := mp.Mod
 	t = derefAll(t)
 	if arr, ok := t.Underlying().(*types.Array); ok {
@@ -93,7 +98,23 @@ func mergeableProblem(mp *ModulePass, t types.Type) string {
 		}
 	}
 	if merge == nil {
-		return "no Merge method found; add a deterministic merge (int sums, disjoint unions) or return a map/slice"
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return "no Merge method found; add a deterministic merge (int sums, disjoint unions) or return a map/slice"
+		}
+		// Field-wise merge: a struct of exactly-mergeable parts merges
+		// exactly without a method of its own.
+		if seen[t] {
+			return "" // cyclic type: the outer visit judges it
+		}
+		seen[t] = true
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if msg := mergeableProblem(mp, f.Type(), seen); msg != "" {
+				return "no Merge method, and field " + f.Name() + " blocks a field-wise merge: " + msg
+			}
+		}
+		return ""
 	}
 	node := mp.Graph.Nodes[merge.FullName()]
 	if node == nil || node.Decl == nil || node.Decl.Body == nil {

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"wearwild/internal/gen"
 	"wearwild/internal/helper"
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/stats"
@@ -34,6 +35,29 @@ func Study(recs []proxylog.Record, l *Ledger, res *stats.Reservoir) {
 	l.Load(recs)
 	helper.Accumulate(recs)
 	res.Observe(recs)
+	_ = gen.Emit(4)
+}
+
+// Publish regroups a parameter slice but hands the groups back: a
+// returned local is the materialise-and-hand-back habit, so the
+// bounded-regroup exemption must not apply.
+func Publish(recs []proxylog.Record) map[string][]proxylog.Record {
+	byUser := make(map[string][]proxylog.Record)
+	for _, r := range recs {
+		byUser[r.User] = append(byUser[r.User], r) // want growbound
+	}
+	return byUser
+}
+
+// Drain buffers a record channel: a tail is unbounded input, so the
+// never-returned local is not bounded-by-input and must still flag.
+func Drain(ch chan proxylog.Record) int {
+	var all []proxylog.Record
+	for r := range ch {
+		all = append(all, r) // want growbound
+	}
+	n := len(all)
+	return n
 }
 
 // Latest keeps one record per fixed slot: fixed-size state never

@@ -1,6 +1,6 @@
-// Package gen is not reachable from the study or decoder roots: the
-// very loop growbound flags elsewhere stays silent here, pinning the
-// reachability scope — generators legitimately build record slices.
+// Package gen is the producer exemption: core.Study reaches Emit, but
+// the generator tree builds the record slices the study consumes, so
+// the very loop growbound flags elsewhere stays silent here.
 package gen
 
 import "wearwild/internal/mnet/proxylog"

@@ -59,3 +59,33 @@ func Walk(recs []proxylog.Record) int {
 	}
 	return n
 }
+
+// Split regroups a parameter slice into locals that die with the call:
+// residency is bounded by the input, and only derived counts leave
+// through the named results. The bounded-regroup rule keeps it clean.
+func Split(recs []proxylog.Record) (wearN, restN int) {
+	var wear, rest []proxylog.Record
+	for _, r := range recs {
+		if r.Host == "w" {
+			wear = append(wear, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	wearN, restN = len(wear), len(rest)
+	return
+}
+
+// Regroup gathers per-user timelines from a parameter slice and
+// returns only their sizes: bounded-by-input, clean.
+func Regroup(recs []proxylog.Record) map[string]int {
+	byUser := make(map[string][]proxylog.Record)
+	for _, r := range recs {
+		byUser[r.User] = append(byUser[r.User], r)
+	}
+	sizes := make(map[string]int, len(byUser))
+	for u, tl := range byUser {
+		sizes[u] = len(tl)
+	}
+	return sizes
+}

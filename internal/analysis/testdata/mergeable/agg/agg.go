@@ -10,9 +10,18 @@ import (
 	"wearwild/internal/wrap"
 )
 
-// tally lacks a Merge method.
+// tally lacks a Merge method, and its bare-float field blocks the
+// field-wise fallback.
 type tally struct {
 	hits int
+	rate float64
+}
+
+// span also lacks a Merge method, but every field merges exactly on
+// its own, so the field-wise rule accepts it.
+type span struct {
+	n     int
+	byDay map[int]int64
 }
 
 // acc declares a Merge that folds floats: non-associative.
@@ -54,10 +63,19 @@ func Anon(rows [][]float64) []struct{ N int } {
 	})
 }
 
-// NoMerge returns a named type with no Merge method.
+// NoMerge returns a named type with no Merge method and a float field:
+// the field-wise fallback cannot vouch for it.
 func NoMerge(rows [][]float64) []tally {
 	return shard.Map(rows, 2, func(i int, s []float64) tally { // want mergeable
 		return tally{hits: len(s)}
+	})
+}
+
+// FieldWise returns a Merge-less struct of exact parts: clean under
+// the field-wise rule.
+func FieldWise(rows [][]float64) []span {
+	return shard.Map(rows, 2, func(i int, s []float64) span {
+		return span{n: len(s), byDay: map[int]int64{i: int64(len(s))}}
 	})
 }
 

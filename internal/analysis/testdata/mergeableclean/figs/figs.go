@@ -48,3 +48,24 @@ func Hists(rows [][]int) []hist {
 		return h
 	})
 }
+
+// daySpan nests inside tally without a Merge of its own: exact fields
+// all the way down.
+type daySpan struct {
+	first, last int
+}
+
+// tally has no Merge method; the field-wise rule recurses through the
+// nested struct, the map and the ints and accepts it.
+type tally struct {
+	n     int
+	span  daySpan
+	byKey map[string]int64
+}
+
+// Tallies returns the Merge-less field-wise-mergeable accumulator.
+func Tallies(rows [][]int) []tally {
+	return shard.Map(rows, 2, func(i int, s []int) tally {
+		return tally{n: len(s), span: daySpan{first: i, last: i}, byKey: map[string]int64{"n": int64(len(s))}}
+	})
+}

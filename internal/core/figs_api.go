@@ -1,121 +1,43 @@
 package core
 
-import (
-	"wearwild/internal/mnet/proxylog"
-	"wearwild/internal/mnet/subs"
-	"wearwild/internal/simtime"
-
-	"wearwild/internal/study/mobmetrics"
-	"wearwild/internal/study/sessions"
-	"wearwild/internal/study/usermetrics"
-)
-
-// Per-figure entry points. Run computes everything at once; these wrappers
-// compute one figure in isolation so the benchmark harness can time and
-// regenerate each of the paper's figures independently. Each builds just
-// the shared aggregates its figure needs (Run's prepare computes them once
-// for all figures instead).
-
-// collectActs computes the per-subscriber wearable activity aggregate.
-func (s *Study) collectActs() map[subs.IMSI]*usermetrics.Activity {
-	return usermetrics.CollectSharded(s.wearShards, nil, s.workers())
-}
-
-// udrTotals computes the per-subscriber volume totals over the detail
-// window.
-func (s *Study) udrTotals() map[subs.IMSI]*usermetrics.Totals {
-	return usermetrics.TotalsFromUDRSharded(s.udrShards, simtime.Detail(), s.ds.Devices.IsWearable, s.workers())
-}
-
-// mobilityPrep computes the mobility portion of the shared aggregates.
-func (s *Study) mobilityPrep() *prep {
-	w := s.workers()
-	return &prep{
-		acts:    s.collectActs(),
-		wearMob: s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isWearDev, w),
-		restMob: s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isRestPhone, w),
-		txSectors: mobmetrics.TxSectorsSharded(s.mmeShards, s.wearShards, s.isWearDev,
-			func(r proxylog.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }, w),
-	}
-}
+// Per-figure entry points. The streaming engine derives every figure from
+// one pass over the record stream, so each wrapper runs the full engine
+// and projects out its figure: isolation costs one pass, never a bespoke
+// recomputation that could drift from Run's output.
 
 // ComputeFig2a computes the adoption series.
-func (s *Study) ComputeFig2a() Adoption {
-	var r Results
-	s.adoption(&r, s.wearablePresence())
-	return r.Fig2a
-}
+func (s *Study) ComputeFig2a() Adoption { return s.runAll().Fig2a }
 
 // ComputeFig2b computes the retention comparison.
-func (s *Study) ComputeFig2b() Retention {
-	var r Results
-	s.retention(&r, s.wearablePresence())
-	return r.Fig2b
-}
+func (s *Study) ComputeFig2b() Retention { return s.runAll().Fig2b }
 
 // ComputeFig3a computes the hourly usage pattern.
-func (s *Study) ComputeFig3a() HourlyPattern {
-	var r Results
-	s.hourlyPattern(&r)
-	return r.Fig3a
-}
+func (s *Study) ComputeFig3a() HourlyPattern { return s.runAll().Fig3a }
 
 // ComputeFig3b computes the activity distributions.
-func (s *Study) ComputeFig3b() ActivityDistributions {
-	var r Results
-	s.activityDistributions(&r, s.collectActs())
-	return r.Fig3b
-}
+func (s *Study) ComputeFig3b() ActivityDistributions { return s.runAll().Fig3b }
 
 // ComputeFig3c computes the transaction statistics.
-func (s *Study) ComputeFig3c() Transactions {
-	var r Results
-	s.transactions(&r, s.collectActs())
-	return r.Fig3c
-}
+func (s *Study) ComputeFig3c() Transactions { return s.runAll().Fig3c }
 
 // ComputeFig3d computes the hours-activity coupling.
-func (s *Study) ComputeFig3d() ActivityCoupling {
-	var r Results
-	s.activityCoupling(&r, s.collectActs())
-	return r.Fig3d
-}
+func (s *Study) ComputeFig3d() ActivityCoupling { return s.runAll().Fig3d }
 
 // ComputeFig4a computes the owners-vs-rest volume comparison.
-func (s *Study) ComputeFig4a() OwnersVsRest {
-	var r Results
-	s.ownersVsRest(&r, s.udrTotals())
-	return r.Fig4a
-}
+func (s *Study) ComputeFig4a() OwnersVsRest { return s.runAll().Fig4a }
 
 // ComputeFig4b computes the wearable device share.
-func (s *Study) ComputeFig4b() DeviceShare {
-	var r Results
-	s.deviceShare(&r, s.udrTotals())
-	return r.Fig4b
-}
+func (s *Study) ComputeFig4b() DeviceShare { return s.runAll().Fig4b }
 
 // ComputeFig4c computes mobility (and, as a byproduct, Fig 4d).
 func (s *Study) ComputeFig4c() (Mobility, MobilityCoupling) {
-	var r Results
-	s.mobility(&r, s.mobilityPrep())
-	return r.Fig4c, r.Fig4d
+	res := s.runAll()
+	return res.Fig4c, res.Fig4d
 }
 
 // ComputeAppFigures computes the application analyses (Figs 5–8 and the
-// §4.3 takeaways), which share one sessionisation pass.
-func (s *Study) ComputeAppFigures() *Results {
-	var r Results
-	usages := sessions.SessionizeSharded(s.wearShards, s.cfg.SessionGap, s.workers())
-	s.appFigures(&r, s.resolver.AttributeParallel(usages, s.workers()))
-	return &r
-}
+// §4.3 takeaways).
+func (s *Study) ComputeAppFigures() *Results { return s.runAll() }
 
-// ComputeThroughDevice computes the fingerprinting comparison. The SIM
-// displacement baseline comes from the mobility analysis.
-func (s *Study) ComputeThroughDevice() ThroughDevice {
-	var r Results
-	s.mobility(&r, s.mobilityPrep())
-	s.throughDevice(&r)
-	return r.TD
-}
+// ComputeThroughDevice computes the fingerprinting comparison.
+func (s *Study) ComputeThroughDevice() ThroughDevice { return s.runAll().TD }

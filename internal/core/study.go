@@ -4,22 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"wearwild/internal/mnet/cells"
-	"wearwild/internal/mnet/mme"
-	"wearwild/internal/mnet/proxylog"
-	"wearwild/internal/mnet/subs"
-	"wearwild/internal/mnet/udr"
-	"wearwild/internal/shard"
 	"wearwild/internal/simtime"
-	"wearwild/internal/stats"
+	"wearwild/internal/stream"
 
 	"wearwild/internal/gen/sim"
-	"wearwild/internal/study/appid"
-	"wearwild/internal/study/identify"
-	"wearwild/internal/study/mobmetrics"
-	"wearwild/internal/study/plancost"
-	"wearwild/internal/study/sessions"
-	"wearwild/internal/study/usermetrics"
 )
 
 // Config controls the study.
@@ -43,24 +31,25 @@ func DefaultConfig() Config {
 	return Config{SessionGap: time.Minute, CDFPoints: 200}
 }
 
-// Study is the analysis pipeline bound to one dataset.
+// withDefaults resolves zero fields to the paper's parameters.
+func (c Config) withDefaults() Config {
+	if c.SessionGap <= 0 {
+		c.SessionGap = time.Minute
+	}
+	if c.CDFPoints <= 0 {
+		c.CDFPoints = 200
+	}
+	return c
+}
+
+// Study binds the analysis to one resident dataset. It holds no derived
+// record slices: Run streams the dataset's logs through the bounded-memory
+// engine, which materialises at most one subscriber's records at a time.
+// Datasets too large to sit in memory skip Study entirely and feed
+// RunStream from a decoder or live tail.
 type Study struct {
-	ds       *sim.Dataset
-	cfg      Config
-	ix       *identify.Index
-	resolver *appid.Resolver
-	analyzer *mobmetrics.Analyzer
-
-	// wearRecs is the proxy log restricted to wearable devices;
-	// phoneRecs is its complement (the sampled handset baseline).
-	wearRecs  []proxylog.Record
-	phoneRecs []proxylog.Record
-
-	// Per-subscriber shards of the three logs, partitioned once by IMSI
-	// hash so every analysis fans out over the same fixed structure.
-	wearShards [][]proxylog.Record
-	mmeShards  [][]mme.Record
-	udrShards  [][]udr.Record
+	ds  *sim.Dataset
+	cfg Config
 }
 
 // NewStudy prepares a study over a dataset.
@@ -68,160 +57,47 @@ func NewStudy(ds *sim.Dataset, cfg Config) (*Study, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
-	if cfg.SessionGap <= 0 {
-		cfg.SessionGap = time.Minute
-	}
-	if cfg.CDFPoints <= 0 {
-		cfg.CDFPoints = 200
-	}
-	analyzer, err := mobmetrics.New(ds.Topology)
-	if err != nil {
+	cfg = cfg.withDefaults()
+	s := &Study{ds: ds, cfg: cfg}
+	// Validate the environment now so the per-figure entry points have no
+	// error path.
+	if _, err := newEngine(s.env(), cfg); err != nil {
 		return nil, err
 	}
-	s := &Study{
-		ds:       ds,
-		cfg:      cfg,
-		resolver: appid.NewResolver(ds.Catalog),
-		analyzer: analyzer,
-	}
-	s.ix = identify.Build(ds.Devices, &ds.MME, &ds.Proxy, &ds.UDR)
-
-	// One classification pass sizes both splits exactly, so neither
-	// slice ever reallocates and IsWearable runs once per record here
-	// instead of once per figure.
-	wearCount := 0
-	for _, rec := range ds.Proxy.Records {
-		if ds.Devices.IsWearable(rec.IMEI) {
-			wearCount++
-		}
-	}
-	s.wearRecs = make([]proxylog.Record, 0, wearCount)
-	s.phoneRecs = make([]proxylog.Record, 0, len(ds.Proxy.Records)-wearCount)
-	for _, rec := range ds.Proxy.Records {
-		if ds.Devices.IsWearable(rec.IMEI) {
-			// Streaming-refactor ledger (ROADMAP item 1): NewStudy splits the
-			// full proxy log into resident wearable/phone slices; the streaming
-			// engine must replace both with per-shard passes over a decoder.
-			//wearlint:ignore growbound intentional full materialisation — the wearable split feeds every figure; remove with the streaming engine
-			s.wearRecs = append(s.wearRecs, rec)
-		} else {
-			//wearlint:ignore growbound intentional full materialisation — the phone baseline feeds the comparison figures; remove with the streaming engine
-			s.phoneRecs = append(s.phoneRecs, rec)
-		}
-	}
-
-	nShards := shard.Shards(cfg.Shards)
-	s.wearShards = shard.Partition(s.wearRecs, nShards, func(r proxylog.Record) uint64 { return uint64(r.IMSI) })
-	s.mmeShards = shard.Partition(ds.MME.Records, nShards, func(r mme.Record) uint64 { return uint64(r.IMSI) })
-	s.udrShards = shard.Partition(ds.UDR.Records, nShards, func(r udr.Record) uint64 { return uint64(r.IMSI) })
 	return s, nil
 }
 
-// workers resolves the configured analysis parallelism.
-func (s *Study) workers() int { return shard.Workers(s.cfg.Workers) }
-
-// Index exposes the identification result.
-func (s *Study) Index() *identify.Index { return s.ix }
-
-// WearableRecords exposes the wearable-only proxy slice.
-func (s *Study) WearableRecords() []proxylog.Record { return s.wearRecs }
-
-// prep holds the shared per-subscriber aggregates several figures read.
-// Run computes each one exactly once (shard-parallel inside), instead of
-// the per-figure recomputation the sequential pipeline did.
-type prep struct {
-	acts       map[subs.IMSI]*usermetrics.Activity
-	presence   map[simtime.Day]map[subs.IMSI]struct{}
-	totals     map[subs.IMSI]*usermetrics.Totals
-	attributed []appid.Attributed
-	wearMob    map[subs.IMSI]*mobmetrics.Mobility
-	restMob    map[subs.IMSI]*mobmetrics.Mobility
-	txSectors  map[subs.IMSI]map[cells.SectorID]int64
+// env assembles the static study context from the dataset.
+func (s *Study) env() Env {
+	return Env{Devices: s.ds.Devices, Topology: s.ds.Topology, Catalog: s.ds.Catalog}
 }
 
-// prepare computes the shared aggregates. Each item is internally
-// sharded over the fixed per-subscriber partition, so this phase uses
-// the full worker budget one aggregate at a time.
-func (s *Study) prepare() *prep {
-	w := s.workers()
-	p := &prep{}
-	p.acts = usermetrics.CollectSharded(s.wearShards, nil, w)
-	p.presence = s.wearablePresence()
-	p.totals = usermetrics.TotalsFromUDRSharded(s.udrShards, simtime.Detail(), s.ds.Devices.IsWearable, w)
-	usages := sessions.SessionizeSharded(s.wearShards, s.cfg.SessionGap, w)
-	p.attributed = s.resolver.AttributeParallel(usages, w)
-	p.wearMob = s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isWearDev, w)
-	p.restMob = s.analyzer.CollectSharded(s.mmeShards, simtime.Detail(), s.isRestPhone, w)
-	p.txSectors = mobmetrics.TxSectorsSharded(s.mmeShards, s.wearShards, s.isWearDev,
-		func(r proxylog.Record) bool { return s.ds.Devices.IsWearable(r.IMEI) }, w)
-	return p
+// source adapts the resident logs to the record-stream interface.
+func (s *Study) source() stream.Source {
+	return &stream.Logs{Proxy: &s.ds.Proxy, MME: &s.ds.MME, UDR: &s.ds.UDR}
 }
 
-// Run executes every analysis and assembles the Results tree. Figure
-// tasks run concurrently on a bounded pool; each writes a disjoint set
-// of Results fields computed deterministically from the shared prep, so
-// the assembly after the barrier is byte-identical at every Workers and
-// Shards setting.
+// Run executes every analysis and assembles the Results tree. Each call
+// streams the logs through a fresh engine, so repeated runs are
+// independent and byte-identical.
 func (s *Study) Run() (*Results, error) {
-	if s.ix.NumWearableUsers() == 0 {
-		return nil, fmt.Errorf("core: no SIM-enabled wearable users identified")
-	}
-	p := s.prepare()
-	res := &Results{}
-
-	var planErr error
-	tasks := []func(){
-		func() { s.adoption(res, p.presence) },
-		func() { s.retention(res, p.presence) },
-		func() { s.hourlyPattern(res) },
-		func() { s.activityDistributions(res, p.acts) },
-		func() { s.transactions(res, p.acts) },
-		func() { s.activityCoupling(res, p.acts) },
-		func() { s.ownersVsRest(res, p.totals) },
-		func() { s.deviceShare(res, p.totals) },
-		func() { s.mobility(res, p) },
-		func() { s.appFigures(res, p.attributed) },
-		func() { res.Weekly = s.ComputeWeeklyTrend() },
-		func() { planErr = s.planCost(res) },
-	}
-	// The tasks write disjoint Results fields, so the only ordering
-	// that matters is the barrier before the dependent phase below.
-	shard.Run(len(tasks), s.workers(), func(i int) { tasks[i]() })
-	if planErr != nil {
-		return nil, fmt.Errorf("core: plan-cost analysis: %w", planErr)
-	}
-
-	// throughDevice reads Fig4c's displacement mean, so it runs after
-	// the barrier.
-	s.throughDevice(res)
-	return res, nil
+	return RunStream(s.env(), s.source(), s.cfg)
 }
 
-// planCost computes the Fig 8 discussion's data-plan overhead figures.
-func (s *Study) planCost(res *Results) error {
-	rep, err := plancost.Analyze(s.resolver, s.wearRecs, plancost.WindowDaysOf(s.wearRecs), 0)
+// runAll executes the engine without the empty-population guard, for the
+// per-figure wrappers whose signatures carry no error. The environment was
+// validated by NewStudy and resident sources cannot fail mid-stream, so
+// the remaining error paths are unreachable.
+func (s *Study) runAll() *Results {
+	e, err := newEngine(s.env(), s.cfg)
 	if err != nil {
-		return err
+		panic(err)
 	}
-	res.PlanCost = PlanCost{
-		PlanMB:            rep.PlanBytes / (1 << 20),
-		MeanOverheadShare: rep.MeanOverheadShare,
-		MeanPlanSharePct:  rep.MeanPlanSharePct,
-		MaxPlanSharePct:   rep.MaxPlanSharePct,
+	res, err := e.run(s.source())
+	if err != nil {
+		panic(err)
 	}
-	return nil
-}
-
-// cdf converts a sample to an exported Series.
-func (s *Study) cdf(sample []float64) Series {
-	return s.series(stats.NewECDF(sample))
-}
-
-// series exports an already-built ECDF, so call sites that also need
-// quantiles or means sort the sample once instead of twice.
-func (s *Study) series(e *stats.ECDF) Series {
-	xs, ps := e.Points(s.cfg.CDFPoints)
-	return Series{X: xs, P: ps}
+	return res
 }
 
 // detailWeeks is the number of weeks in the detail window.

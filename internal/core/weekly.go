@@ -1,10 +1,7 @@
 package core
 
 import (
-	"wearwild/internal/mnet/subs"
 	"wearwild/internal/simtime"
-	"wearwild/internal/sortx"
-	"wearwild/internal/stats"
 )
 
 // WeeklyTrend is the §4.2 stability check: the paper reports "no clear
@@ -34,68 +31,5 @@ type WeekRow struct {
 // ComputeWeeklyTrend derives the weekly stability analysis from the
 // wearable proxy records.
 func (s *Study) ComputeWeeklyTrend() WeeklyTrend {
-	type weekAgg struct {
-		users map[subs.IMSI]struct{}
-		tx    int64
-		bytes int64
-	}
-	byWeek := map[simtime.Week]*weekAgg{}
-	var dayTx, dayBytes [7]float64
-	dailyTx := map[simtime.Day]float64{}
-	dailyBytes := map[simtime.Day]float64{}
-
-	for _, rec := range s.wearRecs {
-		d := simtime.DayOf(rec.Time)
-		w := d.Week()
-		agg := byWeek[w]
-		if agg == nil {
-			agg = &weekAgg{users: make(map[subs.IMSI]struct{})}
-			byWeek[w] = agg
-		}
-		agg.users[rec.IMSI] = struct{}{}
-		agg.tx++
-		agg.bytes += rec.Bytes()
-
-		dow := int(d) % 7 // epoch is a Monday
-		dayTx[dow]++
-		dayBytes[dow] += float64(rec.Bytes())
-		dailyTx[d]++
-		dailyBytes[d] += float64(rec.Bytes())
-	}
-
-	var out WeeklyTrend
-	for w := simtime.Detail().Start.Week(); int(w) < int(simtime.Detail().End.Week()); w++ {
-		agg := byWeek[w]
-		if agg == nil {
-			out.Weeks = append(out.Weeks, WeekRow{Week: w})
-			continue
-		}
-		out.Weeks = append(out.Weeks, WeekRow{
-			Week: w, ActiveUsers: len(agg.users), Tx: agg.tx, Bytes: agg.bytes,
-		})
-	}
-
-	var totTx float64
-	for _, v := range dayTx {
-		totTx += v
-	}
-	if totTx > 0 {
-		for i, v := range dayTx {
-			out.DayOfWeekTxShare[i] = v / totTx
-		}
-	}
-
-	cv := func(m map[simtime.Day]float64) float64 {
-		var s stats.Summary
-		for _, d := range sortx.Keys(m) {
-			s.Add(m[d])
-		}
-		if s.Mean() == 0 {
-			return 0
-		}
-		return s.Std() / s.Mean()
-	}
-	out.TxCV = cv(dailyTx)
-	out.BytesCV = cv(dailyBytes)
-	return out
+	return s.runAll().Weekly
 }

@@ -165,18 +165,17 @@ func Generate(cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	mob, err := mobility.New(ds.Topology, cfg.Mobility)
+	gen, err := newUserGen(cfg, ds.Population, ds.Topology, ds.Catalog)
 	if err != nil {
 		return nil, err
 	}
-	tgen, err := traffic.New(ds.Catalog, cfg.Traffic)
-	if err != nil {
-		return nil, err
-	}
-
-	root := randx.New(cfg.Seed)
-	ds.generateWearables(ds.Population, mob, tgen, root)
-	ds.generateOrdinary(ds.Population, mob, tgen, root)
+	results := make([]userOutput, len(ds.Population.Users))
+	parallelForChunked(len(ds.Population.Users), cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i] = gen.user(i)
+		}
+	})
+	ds.merge(results)
 
 	ds.MME.SortByTime()
 	ds.Proxy.SortByTime()
@@ -193,35 +192,76 @@ type userOutput struct {
 	udr   []udr.Record
 }
 
-// generateWearables produces MME, proxy and UDR output for wearable
-// owners.
-func (ds *Dataset) generateWearables(pop *population.Population, mob *mobility.Generator,
-	tgen *traffic.Generator, root *randx.Rand) {
-	owners := pop.WearableOwners()
-	results := make([]userOutput, len(owners))
-	parallelForChunked(len(owners), ds.Config.Workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			results[i] = ds.wearableUser(owners[i], uint64(i), mob, tgen, root)
-		}
-	})
-	ds.merge(results)
+// userGen derives any single subscriber's complete five-month output
+// independently of every other subscriber: the per-user RNG streams are
+// split from the root by user index, so the resident Generate sweep and
+// the record-streaming source produce byte-identical per-user records.
+type userGen struct {
+	pop    *population.Population
+	mob    *mobility.Generator
+	tgen   *traffic.Generator
+	root   *randx.Rand
+	owners int
+	sample int
 }
 
-// wearableUser generates one owner's five-month output.
-func (ds *Dataset) wearableUser(u *population.User, uid uint64, mob *mobility.Generator,
-	tgen *traffic.Generator, root *randx.Rand) userOutput {
+func newUserGen(cfg Config, pop *population.Population, topo *cells.Topology,
+	catalog *apps.Catalog) (*userGen, error) {
+	mob, err := mobility.New(topo, cfg.Mobility)
+	if err != nil {
+		return nil, err
+	}
+	tgen, err := traffic.New(catalog, cfg.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	owners := len(pop.WearableOwners())
+	sample := cfg.OrdinaryMobilitySample
+	if sample > len(pop.Users)-owners {
+		sample = len(pop.Users) - owners
+	}
+	return &userGen{
+		pop:    pop,
+		mob:    mob,
+		tgen:   tgen,
+		root:   randx.New(cfg.Seed),
+		owners: owners,
+		sample: sample,
+	}, nil
+}
+
+// user generates subscriber i's complete output: the wearable day sweep
+// for owners, weekly phone UDRs for everyone (Fig 4(a/b) compares
+// whole-user volumes), and the detail-window phone activity for ordinary
+// users (full MME itineraries for the mobility sample, and the sparse
+// proxy trickle that carries Through-Device companion traffic).
+func (g *userGen) user(i int) userOutput {
+	u := g.pop.Users[i]
+	uid := uint64(i)
 	var out userOutput
+	if i < g.owners {
+		g.wearableDays(u, uid, &out)
+	}
+	g.phoneWeeks(u, uid, &out)
+	if j := i - g.owners; j >= 0 {
+		g.ordinaryDetail(u, uid, j < g.sample, &out)
+	}
+	return out
+}
+
+// wearableDays generates one owner's five-month wearable output.
+func (g *userGen) wearableDays(u *population.User, uid uint64, out *userOutput) {
 	weekBytes := map[simtime.Week]*udr.Record{}
 
 	for d := simtime.Day(0); d < simtime.StudyDays; d++ {
 		if !u.WearableActiveOn(d) {
 			continue
 		}
-		rDay := root.Split("wday", uid*100000+uint64(d))
+		rDay := g.root.Split("wday", uid*100000+uint64(d))
 		if !rDay.Bool(u.RegProb) {
 			continue // wearable stayed off the cellular network today
 		}
-		visits := mob.DayVisits(u, d, rDay.Split("mob", 0))
+		visits := g.mob.DayVisits(u, d, rDay.Split("mob", 0))
 		if len(visits) == 0 {
 			continue
 		}
@@ -234,7 +274,7 @@ func (ds *Dataset) wearableUser(u *population.User, uid uint64, mob *mobility.Ge
 			out.mme = append(out.mme, mobility.Records(u, u.WearableIMEI, visits[:1])[0])
 		}
 
-		recs := tgen.WearableDay(u, d, visits, rDay.Split("tx", 0))
+		recs := g.tgen.WearableDay(u, d, visits, rDay.Split("tx", 0))
 		if len(recs) == 0 {
 			continue
 		}
@@ -257,58 +297,31 @@ func (ds *Dataset) wearableUser(u *population.User, uid uint64, mob *mobility.Ge
 			out.udr = append(out.udr, *agg)
 		}
 	}
-	return out
 }
 
-// generateOrdinary produces UDRs for every handset, detail-window MME logs
-// for the mobility sample, and the sparse phone proxy trickle that carries
-// Through-Device companion traffic.
-func (ds *Dataset) generateOrdinary(pop *population.Population, mob *mobility.Generator,
-	tgen *traffic.Generator, root *randx.Rand) {
-	// Phone UDRs for all subscribers, owners included: Fig 4(a/b) compares
-	// whole-user volumes.
-	phoneUDR := make([]userOutput, len(pop.Users))
-	parallelForChunked(len(pop.Users), ds.Config.Workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			u := pop.Users[i]
-			uid := uint64(i)
-			var out userOutput
-			for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
-				rec := tgen.PhoneWeek(u, w, root.Split("pweek", uid*1000+uint64(w)))
-				if rec.Bytes > 0 {
-					out.udr = append(out.udr, rec)
-				}
-			}
-			phoneUDR[i] = out
+// phoneWeeks generates the weekly phone UDRs every subscriber carries.
+func (g *userGen) phoneWeeks(u *population.User, uid uint64, out *userOutput) {
+	for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
+		rec := g.tgen.PhoneWeek(u, w, g.root.Split("pweek", uid*1000+uint64(w)))
+		if rec.Bytes > 0 {
+			out.udr = append(out.udr, rec)
 		}
-	})
-	ds.merge(phoneUDR)
-
-	detail := simtime.Detail()
-	ordinary := pop.OrdinaryUsers()
-	sample := ds.Config.OrdinaryMobilitySample
-	if sample > len(ordinary) {
-		sample = len(ordinary)
 	}
-	results := make([]userOutput, len(ordinary))
-	parallelForChunked(len(ordinary), ds.Config.Workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			u := ordinary[i]
-			uid := uint64(len(pop.WearableOwners()) + i)
-			var out userOutput
-			for d := detail.Start; d < detail.End; d++ {
-				rDay := root.Split("oday", uid*100000+uint64(d))
-				// Mobility sample: full phone itineraries.
-				if i < sample {
-					visits := mob.DayVisits(u, d, rDay.Split("mob", 0))
-					out.mme = append(out.mme, mobility.Records(u, u.PhoneIMEI, visits)...)
-				}
-				out.proxy = append(out.proxy, tgen.PhoneProxyDay(u, d, rDay.Split("px", 0))...)
-			}
-			results[i] = out
+}
+
+// ordinaryDetail generates an ordinary user's detail-window phone
+// activity; sampled users get full MME sector itineraries.
+func (g *userGen) ordinaryDetail(u *population.User, uid uint64, sampled bool, out *userOutput) {
+	detail := simtime.Detail()
+	for d := detail.Start; d < detail.End; d++ {
+		rDay := g.root.Split("oday", uid*100000+uint64(d))
+		// Mobility sample: full phone itineraries.
+		if sampled {
+			visits := g.mob.DayVisits(u, d, rDay.Split("mob", 0))
+			out.mme = append(out.mme, mobility.Records(u, u.PhoneIMEI, visits)...)
 		}
-	})
-	ds.merge(results)
+		out.proxy = append(out.proxy, g.tgen.PhoneProxyDay(u, d, rDay.Split("px", 0))...)
+	}
 }
 
 // merge appends per-user outputs in user order.

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"sort"
+
+	"wearwild/internal/gen/apps"
+	"wearwild/internal/gen/population"
+	"wearwild/internal/mnet/cells"
+	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/stream"
+)
+
+// StreamSource derives the synthetic ISP logs one subscriber at a time and
+// feeds them to a stream.Sink, never materialising a whole log. It is a
+// user-major source: each subscriber's records arrive as one contiguous
+// bundle (proxy, then MME, then UDR, each in its canonical order) followed
+// by UserDone, with subscribers emitted in ascending IMSI order. Record
+// content is byte-identical to what Generate produces for the same Config.
+type StreamSource struct {
+	cfg Config
+	gen *userGen
+
+	// ConsumeUsers releases each subscriber's population entry as soon as
+	// their records have been emitted. Per-user generation never reads
+	// another subscriber's entry, so a stream-only run holds the study's
+	// own per-subscriber state plus only the not-yet-streamed tail of the
+	// population instead of both in full. The population is consumed in
+	// place — Population.Users shares the released entries — so the
+	// source cannot stream twice and the Population field must not be
+	// used afterwards.
+	ConsumeUsers bool
+
+	// The substrate a study engine needs alongside the record stream.
+	Topology   *cells.Topology
+	Devices    *devicedb.DB
+	Catalog    *apps.Catalog
+	Population *population.Population
+}
+
+// NewStreamSource builds the deterministic substrate (topology, device DB,
+// catalogue, population) and prepares per-user generation.
+func NewStreamSource(cfg Config) (*StreamSource, error) {
+	ds, err := generateSubstrate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := newUserGen(cfg, ds.Population, ds.Topology, ds.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSource{
+		cfg:        cfg,
+		gen:        gen,
+		Topology:   ds.Topology,
+		Devices:    ds.Devices,
+		Catalog:    ds.Catalog,
+		Population: ds.Population,
+	}, nil
+}
+
+// Stream implements stream.Source. One user's output lives at a time;
+// peak memory is the largest single subscriber bundle, not the dataset.
+func (s *StreamSource) Stream(sink stream.Sink) error {
+	for i := range s.gen.pop.Users {
+		out := s.gen.user(i)
+		imsi := s.gen.pop.Users[i].IMSI
+		if s.ConsumeUsers {
+			s.gen.pop.Users[i] = nil
+		}
+		// Per-user canonical orders, matching the global dataset sorts
+		// restricted to this subscriber: the global sorts are stable by
+		// Time (proxy, MME) and keyed (week, imsi, imei) for UDR, so a
+		// user's subsequence of the sorted whole log equals the stable
+		// per-user sort of their own records.
+		sort.SliceStable(out.proxy, func(a, b int) bool {
+			return out.proxy[a].Time.Before(out.proxy[b].Time)
+		})
+		sort.SliceStable(out.mme, func(a, b int) bool {
+			return out.mme[a].Time.Before(out.mme[b].Time)
+		})
+		sort.Slice(out.udr, func(a, b int) bool {
+			x, y := out.udr[a], out.udr[b]
+			if x.Week != y.Week {
+				return x.Week < y.Week
+			}
+			return x.IMEI < y.IMEI
+		})
+		for _, r := range out.proxy {
+			if err := sink.Proxy(r); err != nil {
+				return err
+			}
+		}
+		for _, r := range out.mme {
+			if err := sink.MME(r); err != nil {
+				return err
+			}
+		}
+		for _, r := range out.udr {
+			if err := sink.UDR(r); err != nil {
+				return err
+			}
+		}
+		if err := sink.UserDone(imsi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

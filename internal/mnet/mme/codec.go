@@ -40,33 +40,48 @@ func WriteCSV(w io.Writer, records []Record) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a CSV stream written by WriteCSV.
-func ReadCSV(r io.Reader) ([]Record, error) {
+// StreamCSV parses a CSV stream written by WriteCSV record by record into
+// fn: the bounded-memory path the streaming study engine consumes.
+func StreamCSV(r io.Reader, fn func(Record) error) error {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("mme: reading header: %w", err)
+		return fmt.Errorf("mme: reading header: %w", err)
 	}
 	if strings.Join(header, ",") != strings.Join(csvHeader, ",") {
-		return nil, fmt.Errorf("mme: unexpected header %v", header)
+		return fmt.Errorf("mme: unexpected header %v", header)
 	}
-	var out []Record
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("mme: line %d: %w", line, err)
+			return fmt.Errorf("mme: line %d: %w", line, err)
 		}
 		rec, err := parseRow(row)
 		if err != nil {
-			return nil, fmt.Errorf("mme: line %d: %w", line, err)
+			return fmt.Errorf("mme: line %d: %w", line, err)
 		}
-		//wearlint:ignore growbound ReadCSV is the whole-log convenience API; stream callers iterate rows themselves
-		out = append(out, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
+}
+
+// ReadCSV parses a CSV stream written by WriteCSV: the whole-log
+// convenience wrapper over StreamCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	var out []Record
+	err := StreamCSV(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func parseRow(row []string) (Record, error) {

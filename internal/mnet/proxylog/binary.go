@@ -3,6 +3,7 @@ package proxylog
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -33,6 +34,18 @@ const (
 	opDef = 0x01
 	opRec = 0x02
 )
+
+// MaxHosts caps the interned-host dictionary on both sides of the codec.
+// Real proxy logs intern a few hundred domains; without a cap a malformed
+// or adversarial stream of opDef opcodes grows the decoder's dictionary
+// without bound (each entry individually passes the 1<<16 length check)
+// and OOMs the streaming engine.
+const MaxHosts = 1 << 20
+
+// ErrHostDictLimit reports a stream that defines more than MaxHosts
+// distinct hosts. Wrapped by both Encoder.Encode and Decoder.Decode;
+// match with errors.Is.
+var ErrHostDictLimit = errors.New("host dictionary limit exceeded")
 
 // Encoder streams records into the binary format.
 type Encoder struct {
@@ -65,6 +78,9 @@ func (e *Encoder) Encode(r Record) error {
 	}
 	id, known := e.hosts[r.Host]
 	if !known {
+		if len(e.hosts) >= MaxHosts {
+			return fmt.Errorf("proxylog: %w (%d hosts)", ErrHostDictLimit, len(e.hosts))
+		}
 		id = uint64(len(e.hosts))
 		e.hosts[r.Host] = id
 		e.scratch = e.scratch[:0]
@@ -173,6 +189,9 @@ func (d *Decoder) Decode() (Record, error) {
 			}
 			if n > 1<<16 {
 				return Record{}, fmt.Errorf("proxylog: host length %d implausible", n)
+			}
+			if len(d.hosts) >= MaxHosts {
+				return Record{}, fmt.Errorf("proxylog: %w (%d hosts)", ErrHostDictLimit, len(d.hosts))
 			}
 			host, err := d.readString(n)
 			if err != nil {
@@ -283,19 +302,36 @@ func WriteBinary(w io.Writer, records []Record) error {
 	return enc.Flush()
 }
 
-// ReadBinary decodes an entire binary stream.
-func ReadBinary(r io.Reader) ([]Record, error) {
+// StreamBinary decodes a binary stream record by record into fn. This is
+// the bounded-memory path the streaming study engine consumes; an error
+// from fn aborts the stream.
+func StreamBinary(r io.Reader, fn func(Record) error) error {
 	dec := NewDecoder(r)
-	var out []Record
 	for {
 		rec, err := dec.Decode()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		//wearlint:ignore growbound ReadBinary is the whole-log convenience API; stream callers use Decoder.Decode record by record
-		out = append(out, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
+}
+
+// ReadBinary decodes an entire binary stream: the whole-log convenience
+// wrapper over StreamBinary, for callers that explicitly want a resident
+// slice.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	var out []Record
+	err := StreamBinary(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

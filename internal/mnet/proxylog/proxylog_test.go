@@ -116,10 +116,10 @@ func TestBinaryV1StreamCompat(t *testing.T) {
 	buf.WriteByte(0x01) // opDef
 	buf.WriteByte(9)    // host length
 	buf.WriteString("a.example")
-	buf.WriteByte(0x02)                                               // opRec
-	buf.Write([]byte{0x00})                                           // delta 0
-	buf.Write([]byte{0x01, 0x01, 0x01})                               // imsi, imei, scheme https
-	buf.Write([]byte{0x00, 0x00, 0x0A, 0x14, 0x1E})                   // host 0, path len 0, up 10, down 20, dur 30
+	buf.WriteByte(0x02)                             // opRec
+	buf.Write([]byte{0x00})                         // delta 0
+	buf.Write([]byte{0x01, 0x01, 0x01})             // imsi, imei, scheme https
+	buf.Write([]byte{0x00, 0x00, 0x0A, 0x14, 0x1E}) // host 0, path len 0, up 10, down 20, dur 30
 	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)

@@ -101,53 +101,68 @@ func WriteCSV(w io.Writer, records []Record) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a stream written by WriteCSV.
-func ReadCSV(r io.Reader) ([]Record, error) {
+// StreamCSV parses a stream written by WriteCSV record by record into fn:
+// the bounded-memory path the streaming study engine consumes.
+func StreamCSV(r io.Reader, fn func(Record) error) error {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("udr: reading header: %w", err)
+		return fmt.Errorf("udr: reading header: %w", err)
 	}
 	if strings.Join(header, ",") != strings.Join(csvHeader, ",") {
-		return nil, fmt.Errorf("udr: unexpected header %v", header)
+		return fmt.Errorf("udr: unexpected header %v", header)
 	}
-	var out []Record
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("udr: line %d: %w", line, err)
+			return fmt.Errorf("udr: line %d: %w", line, err)
 		}
 		week, err := strconv.Atoi(row[0])
 		if err != nil {
-			return nil, fmt.Errorf("udr: line %d: week: %v", line, err)
+			return fmt.Errorf("udr: line %d: week: %v", line, err)
 		}
 		im, err := subs.Parse(row[1])
 		if err != nil {
-			return nil, fmt.Errorf("udr: line %d: %v", line, err)
+			return fmt.Errorf("udr: line %d: %v", line, err)
 		}
 		dev, err := imei.Parse(row[2])
 		if err != nil {
-			return nil, fmt.Errorf("udr: line %d: %v", line, err)
+			return fmt.Errorf("udr: line %d: %v", line, err)
 		}
 		bytes, err := strconv.ParseInt(row[3], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("udr: line %d: bytes: %v", line, err)
+			return fmt.Errorf("udr: line %d: bytes: %v", line, err)
 		}
 		tx, err := strconv.ParseInt(row[4], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("udr: line %d: tx: %v", line, err)
+			return fmt.Errorf("udr: line %d: tx: %v", line, err)
 		}
 		rec := Record{Week: simtime.Week(week), IMSI: im, IMEI: dev, Bytes: bytes, Transactions: tx}
 		if err := rec.Validate(); err != nil {
-			return nil, fmt.Errorf("udr: line %d: %v", line, err)
+			return fmt.Errorf("udr: line %d: %v", line, err)
 		}
-		//wearlint:ignore growbound ReadCSV is the whole-log convenience API; stream callers iterate rows themselves
-		out = append(out, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
+}
+
+// ReadCSV parses a stream written by WriteCSV: the whole-log convenience
+// wrapper over StreamCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	var out []Record
+	err := StreamCSV(r, func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WriteFile writes records to a file, gzip-compressed for ".gz" paths.

@@ -67,6 +67,23 @@ func (h *Histogram) binOf(x float64) int {
 	return i
 }
 
+// Merge folds another histogram with the identical bin layout into h.
+// Bin counts are integer sums, so merging in any order yields exactly the
+// histogram a sequential Add pass over both inputs would.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.min != o.min || h.max != o.max || h.log != o.log || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: merging histograms with different bin layouts")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}
+
 // Bins returns the number of bins.
 func (h *Histogram) Bins() int { return len(h.counts) }
 

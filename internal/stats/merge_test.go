@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mergeSortedScan is the pre-heap reference implementation: a linear scan
+// over all shard heads per emitted element. The tests and the benchmark
+// below prove the heap rewrite emits byte-identical output.
+func mergeSortedScan(parts [][]float64) []float64 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]float64, 0, total)
+	heads := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[heads[i]] < parts[best][heads[best]] {
+				best = i
+			}
+		}
+		out = append(out, parts[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func randomParts(r *rand.Rand, k, maxLen int, dup bool) [][]float64 {
+	parts := make([][]float64, k)
+	for i := range parts {
+		n := r.Intn(maxLen + 1)
+		p := make([]float64, n)
+		for j := range p {
+			if dup {
+				// Heavy duplication stresses the tie-break rule.
+				p[j] = float64(r.Intn(8))
+			} else {
+				p[j] = r.NormFloat64() * 1000
+			}
+		}
+		sort.Float64s(p)
+		parts[i] = p
+	}
+	return parts
+}
+
+func TestMergeSortedMatchesScanAndSort(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		parts := randomParts(r, 1+r.Intn(12), 40, trial%2 == 0)
+		got := MergeSorted(parts)
+		want := mergeSortedScan(parts)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: index %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+		var concat []float64
+		for _, p := range parts {
+			concat = append(concat, p...)
+		}
+		sort.Float64s(concat)
+		for i := range got {
+			if got[i] != concat[i] {
+				t.Fatalf("trial %d: merged output differs from sorted concatenation at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMergeSortedEdgeCases(t *testing.T) {
+	if got := MergeSorted(nil); len(got) != 0 {
+		t.Fatalf("nil parts: %v", got)
+	}
+	if got := MergeSorted([][]float64{nil, {}, nil}); len(got) != 0 {
+		t.Fatalf("empty parts: %v", got)
+	}
+	got := MergeSorted([][]float64{{1, 2, 3}})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("single part: %v", got)
+	}
+}
+
+func benchParts(k, per int) [][]float64 {
+	r := rand.New(rand.NewSource(42))
+	parts := make([][]float64, k)
+	for i := range parts {
+		p := make([]float64, per)
+		for j := range p {
+			p[j] = r.Float64() * 1e6
+		}
+		sort.Float64s(p)
+		parts[i] = p
+	}
+	return parts
+}
+
+// BenchmarkMergeSorted measures the heap k-way merge on the shard shape
+// the study actually uses (32 shards) and asserts, once per run, that its
+// output is byte-identical to the linear-scan reference.
+func BenchmarkMergeSorted(b *testing.B) {
+	parts := benchParts(32, 4096)
+	want := mergeSortedScan(parts)
+	got := MergeSorted(parts)
+	for i := range want {
+		if got[i] != want[i] {
+			b.Fatalf("heap merge diverges from scan merge at %d", i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeSorted(parts)
+	}
+}
+
+func BenchmarkMergeSortedScan(b *testing.B) {
+	parts := benchParts(32, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mergeSortedScan(parts)
+	}
+}

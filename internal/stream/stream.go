@@ -1,0 +1,37 @@
+// Package stream defines the single record-stream interface the study
+// engine consumes: one callback per proxy, MME and UDR record, plus a
+// per-subscriber completion hint. Every data source — the traffic
+// generator, the binary/CSV log decoders, the resident in-memory logs and
+// the live proxy tail — implements Source, so the engine never needs a
+// materialised whole log.
+package stream
+
+import (
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/subs"
+	"wearwild/internal/mnet/udr"
+)
+
+// Sink receives records. A source pushes every record it has, then
+// returns; errors from the sink abort the stream.
+//
+// UserDone tells the sink that no further record for the subscriber will
+// arrive on any of the three feeds. User-major sources (the generator,
+// the resident log source) call it right after a subscriber's records, so
+// the consumer can fold and evict that subscriber's state immediately;
+// record-major sources (file decoders, the live tail) never call it and
+// the consumer evicts everything when Stream returns. User-major sources
+// must emit subscribers in ascending IMSI order — the equivalence suite
+// pins cross-source byte-identity on top of that contract.
+type Sink interface {
+	Proxy(rec proxylog.Record) error
+	MME(rec mme.Record) error
+	UDR(rec udr.Record) error
+	UserDone(imsi subs.IMSI) error
+}
+
+// Source streams its records into the sink.
+type Source interface {
+	Stream(sink Sink) error
+}

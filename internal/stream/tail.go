@@ -1,0 +1,48 @@
+package stream
+
+import (
+	"sync"
+
+	"wearwild/internal/mnet/proxylog"
+)
+
+// Tail adapts a live proxy into a record-major Source: wire the proxy's
+// per-record log callback to Feed, hand the Tail to the engine as its
+// Source, and call Close once the proxy has drained. Stream returns when
+// Close is called and the buffer is empty. Tail is a proxy-only feed
+// (there is no live MME/UDR vantage point in the collection tier), so
+// studies over it see transaction-level figures only.
+//
+// Feed applies backpressure: it blocks when the consumer falls behind by
+// more than the buffer size, mirroring the proxy's own accept
+// backpressure instead of growing an unbounded queue. Callers must stop
+// feeding before Close — netproxy's drain-on-close guarantees exactly
+// that ordering.
+type Tail struct {
+	ch        chan proxylog.Record
+	closeOnce sync.Once
+}
+
+// NewTail returns a tail with the given buffer capacity (minimum 1).
+func NewTail(buffer int) *Tail {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &Tail{ch: make(chan proxylog.Record, buffer)}
+}
+
+// Feed enqueues one record; it blocks while the buffer is full.
+func (t *Tail) Feed(rec proxylog.Record) { t.ch <- rec }
+
+// Close marks the end of the stream. Safe to call more than once.
+func (t *Tail) Close() { t.closeOnce.Do(func() { close(t.ch) }) }
+
+// Stream implements Source, draining records until Close.
+func (t *Tail) Stream(sink Sink) error {
+	for rec := range t.ch {
+		if err := sink.Proxy(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -84,7 +84,6 @@ func (a *Analyzer) Collect(records []mme.Record, window simtime.Window, keep fun
 		if !window.Contains(d) {
 			continue
 		}
-		//wearlint:ignore growbound mobility needs each user's full timeline sorted for dwell computation; per-shard input bounds the residency
 		perUser[rec.IMSI] = append(perUser[rec.IMSI], rec)
 	}
 
@@ -174,7 +173,6 @@ func TxSectors(mmeRecords []mme.Record, proxyRecords []proxylog.Record,
 		if keepMME != nil && !keepMME(rec) {
 			continue
 		}
-		//wearlint:ignore growbound the tx-to-sector join binary-searches each user's sorted MME timeline; per-shard input bounds the residency
 		timeline[rec.IMSI] = append(timeline[rec.IMSI], rec)
 	}
 	for _, recs := range timeline {

@@ -105,6 +105,76 @@ func Analyze(resolver *appid.Resolver, records []proxylog.Record, windowDays int
 	return rep, nil
 }
 
+// Builder is the streaming form of Analyze: the study engine feeds one
+// user's per-kind byte totals at a time (in ascending IMSI order, so the
+// float fold over users is canonical) instead of materialising the whole
+// classified record set. Raw byte counts are exact integers; the monthly
+// scaling happens once per user here, which is why a Builder needs the
+// observation span up front.
+type Builder struct {
+	// DiscardUsers drops the per-user rows from the report: the summary
+	// scalars still aggregate, but Report.Users stays empty. The study
+	// engine sets it so the report costs O(1) per subscriber instead of
+	// retaining one UserCost row per wearable user.
+	DiscardUsers bool
+
+	rep         *Report
+	scale       float64
+	overheadSum float64
+	planSum     float64
+	n           int
+}
+
+// NewBuilder prepares a streaming report over the given observation span.
+// planBytes <= 0 selects DefaultPlanBytes.
+func NewBuilder(windowDays int, planBytes float64) (*Builder, error) {
+	if windowDays <= 0 {
+		return nil, fmt.Errorf("plancost: windowDays must be positive")
+	}
+	if planBytes <= 0 {
+		planBytes = DefaultPlanBytes
+	}
+	return &Builder{
+		rep:   &Report{PlanBytes: planBytes},
+		scale: 30.44 / float64(windowDays),
+	}, nil
+}
+
+// AddUser folds one subscriber's per-kind byte totals into the report.
+// Callers must add users in ascending IMSI order.
+func (b *Builder) AddUser(imsi subs.IMSI, kinds *[apps.NumDomainKinds]int64) {
+	uc := UserCost{IMSI: imsi}
+	var total float64
+	for k, bytes := range kinds {
+		uc.MonthlyBytes[k] = float64(bytes) * b.scale
+		total += uc.MonthlyBytes[k]
+	}
+	overhead := uc.MonthlyBytes[apps.KindAdvertising] + uc.MonthlyBytes[apps.KindAnalytics]
+	if total > 0 {
+		uc.OverheadShare = overhead / total
+	}
+	uc.PlanShare = overhead / b.rep.PlanBytes
+	b.overheadSum += uc.OverheadShare
+	b.planSum += uc.PlanShare
+	if pct := 100 * uc.PlanShare; pct > b.rep.MaxPlanSharePct {
+		b.rep.MaxPlanSharePct = pct
+	}
+	b.n++
+	if !b.DiscardUsers {
+		b.rep.Users = append(b.rep.Users, uc)
+	}
+}
+
+// Report finishes the aggregation and returns the report. The builder must
+// not be used afterwards.
+func (b *Builder) Report() *Report {
+	if n := float64(b.n); n > 0 {
+		b.rep.MeanOverheadShare = b.overheadSum / n
+		b.rep.MeanPlanSharePct = 100 * b.planSum / n
+	}
+	return b.rep
+}
+
 // WindowDaysOf derives the observation span from a record slice (at least
 // one day).
 func WindowDaysOf(records []proxylog.Record) int {

@@ -94,7 +94,6 @@ func sessionizeOne(records []proxylog.Record, gap time.Duration) []Usage {
 	byDev := make(map[devKey][]proxylog.Record)
 	for _, r := range records {
 		k := devKey{r.IMSI, r.IMEI}
-		//wearlint:ignore growbound sessionisation sorts each device timeline before gap-splitting; per-shard input bounds the residency until the streaming engine sessionises per user
 		byDev[k] = append(byDev[k], r)
 	}
 
