@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-json lint-fixtures fuzz-smoke bench-smoke check
+.PHONY: build test race lint lint-json lint-only lint-fixtures fuzz-smoke bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ lint:
 lint-json:
 	$(GO) run ./cmd/wearlint -format json ./...
 
+# Fast single-check iteration while tuning one analyzer:
+#   make lint-only CHECK=randsplit
+#   make lint-only CHECK=allochot,sinkretain
+lint-only:
+	$(GO) run ./cmd/wearlint -checks $(CHECK) ./...
+
 # The analyzer golden-fixture suite alone: fixture rot fails here with a
 # named target before the full test run.
 lint-fixtures:
@@ -33,10 +39,11 @@ lint-fixtures:
 
 # Run the native fuzz targets over their seed corpus only (no mutation):
 # the mme/proxylog codec fuzzers, the collection-path parsers (httplog
-# FuzzReadHead, sni FuzzReadClientHello), and the wearlint suppression
-# directive parser (FuzzIgnoreDirective).
+# FuzzReadHead, sni FuzzReadClientHello), the wearlint suppression
+# directive parser (FuzzIgnoreDirective), and the randx Split derivation
+# (FuzzSplitLabel).
 fuzz-smoke:
-	$(GO) test -run='^Fuzz' ./internal/mnet/... ./internal/analysis
+	$(GO) test -run='^Fuzz' ./internal/mnet/... ./internal/analysis ./internal/randx
 
 # Small-scale end-to-end benchmark: emits BENCH.json (timings, allocs,
 # study peak heap, sequential-vs-parallel determinism cross-check) and

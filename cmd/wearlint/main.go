@@ -3,6 +3,7 @@
 //
 //	go run ./cmd/wearlint ./...
 //	go run ./cmd/wearlint ./internal/core
+//	go run ./cmd/wearlint -checks randsplit,allochot ./...
 //	go run ./cmd/wearlint -format json ./...
 //	go run ./cmd/wearlint -json-out wearlint.json ./...
 //
@@ -30,10 +31,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the available checks and exit")
+	checks := flag.String("checks", "", "comma-separated allow-list of checks to run (default: all; see -list)")
 	format := flag.String("format", "text", "output format: text or json")
 	jsonOut := flag.String("json-out", "", "also write the JSON report to this file, sharing one load+typecheck with the primary output")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [-format text|json] [-json-out file] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wearlint [-list] [-checks a,b] [-format text|json] [-json-out file] [packages]\n\npackages may be ./... (default) or module directories like ./internal/core\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,13 +50,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wearlint: unknown format %q (want text or json)\n", *format)
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *format, *jsonOut); err != nil {
+	selected, err := selectChecks(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wearlint:", err)
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), selected, *format, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "wearlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string, format, jsonOut string) error {
+// selectChecks resolves the -checks allow-list against the catalog. An
+// unknown name is an error, not a silently empty run.
+func selectChecks(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" {
+		return nil, nil // nil means every check
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.DefaultAnalyzers() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			return nil, fmt.Errorf("unknown check %q (run wearlint -list for the catalog)", name)
+		}
+		seen[name] = true
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks %q selects no checks", spec)
+	}
+	return out, nil
+}
+
+func run(args []string, selected []*analysis.Analyzer, format, jsonOut string) error {
 	root, err := findModuleRoot()
 	if err != nil {
 		return err
@@ -63,7 +100,7 @@ func run(args []string, format, jsonOut string) error {
 	if err != nil {
 		return err
 	}
-	diags, err := mod.Run()
+	diags, err := mod.Run(selected...)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllochotAnalyzer flags per-record heap allocations on the generator's
+// hot path — the allocation-site worklist ROADMAP item 2 (shard the
+// generator, the 11× wall-clock bottleneck) must burn down, mirroring
+// how growbound's suppressions drove the streaming study engine. Inside
+// any loop of a function on a call-graph path reachable from the
+// internal/gen roots, the check flags the allocation shapes that turn
+// into per-record garbage at generator scale:
+//
+//   - composite literals that allocate (&T{...}, and slice or map
+//     literals; a plain struct value literal stays on the stack and
+//     passes);
+//   - cap-unguarded appends — growth into a slice with no reuse
+//     discipline; appends into a slab bearing the retain check's reuse
+//     marker grammar (x = x[:0], cap-guard regrow, append(x[:0], ...)),
+//     into a slice made with an explicit capacity, or into an in-place
+//     filter alias (out := v[:k]) all pass;
+//   - make calls (unless they are the slab grammar's cap-guard regrow);
+//   - fmt.Sprintf/Sprint/Sprintln and string↔[]byte/[]rune conversions,
+//     which copy per call (fmt.Errorf is deliberately not in the
+//     family: it allocates on failure paths, which abort the run rather
+//     than repeat);
+//   - function literals, which allocate a closure per iteration.
+//
+// Approximation rules (DESIGN.md §5): loops are lexical — an allocation
+// in a helper that the caller invokes per record is attributed to the
+// helper only if the helper itself loops, so the generator benchmark's
+// allocs/op gate is the backstop for flattened call chains; "made with
+// capacity" and the filter alias are matched anywhere in the enclosing
+// function, not flow-sensitively. Build-once packages (population,
+// apps, device/cell catalogs) and the study-side packages growbound
+// already polices are exempt.
+var AllochotAnalyzer = &Analyzer{
+	Name:      "allochot",
+	Doc:       "loops on generator paths must not heap-allocate per record",
+	RunModule: runAllochot,
+}
+
+// allochotRootPkgs holds the generator entry points; reachability from
+// their non-test functions defines the audited hot path.
+var allochotRootPkgs = []string{"internal/gen/sim"}
+
+// allochotExemptPkgs lists reachable-but-cold packages: build-once
+// setup (population, app catalog, cell plan, device db), the RNG and
+// stats kernels whose buffers are their own contract, the shard
+// runtime, and the study-side packages growbound/retain already police.
+var allochotExemptPkgs = []string{
+	"internal/gen/population",
+	"internal/gen/apps",
+	"internal/randx",
+	"internal/stats",
+	"internal/mnet/cells",
+	"internal/mnet/devicedb",
+	"internal/shard",
+	"internal/core",
+	"internal/stream",
+	"internal/study/...",
+	"internal/mnet/proxylog",
+	"internal/mnet/mme",
+	"internal/mnet/udr",
+}
+
+func runAllochot(mp *ModulePass) {
+	g, mod := mp.Graph, mp.Mod
+	var roots []*Node
+	for _, n := range g.FuncsIn(allochotRootPkgs) {
+		if !n.Test {
+			roots = append(roots, n)
+		}
+	}
+	reach := g.ReachableFrom(roots)
+	reported := map[string]bool{}
+	g.Walk(func(n *Node) {
+		if n.Decl == nil || n.Decl.Body == nil || n.Test || matchRel(n.Rel, allochotExemptPkgs) {
+			return
+		}
+		if !reach.Contains(n) {
+			return
+		}
+		chain := pathSteps(mod, reach.PathTo(n))
+		allochotFunc(mp, n, chain, reported)
+	})
+}
+
+// allochotFunc flags per-iteration allocations inside every lexical
+// loop of one reachable function, nested literals included.
+func allochotFunc(mp *ModulePass, n *Node, chain []PathStep, reported map[string]bool) {
+	pass, mod := n.Pass, mp.Mod
+	body := n.Decl.Body
+
+	// Reuse discipline is collected function-wide: slabs bearing the
+	// retain marker grammar, slices made with an explicit capacity, and
+	// in-place filter aliases (out := v[:k]).
+	slabs := map[types.Object]bool{}
+	madeWithCap := map[types.Object]bool{}
+	sliceAlias := map[types.Object]bool{}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		collectSlabMarkers(pass, nd, slabs)
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			obj := rootObject(pass, lhs)
+			if obj == nil {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if isMakeCall(pass, rhs) && len(rhs.Args) == 3 {
+					madeWithCap[obj] = true
+				}
+			case *ast.SliceExpr:
+				sliceAlias[obj] = true
+			}
+		}
+		return true
+	})
+
+	where := ""
+	if len(chain) > 0 {
+		where = " (reached via " + renderSteps(chain) + " → " + n.DisplayName(mod) + ")"
+	}
+	flag := func(pos token.Pos, what, advice string) {
+		key := mod.Fset.Position(pos).String()
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		mp.Reportf(pos, chain,
+			"hot-path allocation: %s inside a loop on a generator path%s; %s — ROADMAP item 2's worklist",
+			what, where, advice)
+	}
+
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			allochotLoop(pass, nd, slabs, madeWithCap, sliceAlias, flag)
+		}
+		return true // nested loops re-walk and dedupe by position
+	})
+}
+
+// allochotLoop flags the allocation shapes inside one loop subtree.
+func allochotLoop(pass *Pass, loop ast.Node, slabs, madeWithCap, sliceAlias map[types.Object]bool,
+	flag func(token.Pos, string, string)) {
+
+	var loopBody *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		loopBody = l.Body
+	case *ast.RangeStmt:
+		loopBody = l.Body
+	}
+	handledLit := map[*ast.CompositeLit]bool{}
+	ast.Inspect(loopBody, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			if len(nd.Lhs) != len(nd.Rhs) {
+				return true
+			}
+			for i := range nd.Lhs {
+				allochotAssign(pass, nd.Lhs[i], nd.Rhs[i], slabs, madeWithCap, sliceAlias, flag)
+			}
+		case *ast.UnaryExpr:
+			if nd.Op != token.AND {
+				return true
+			}
+			if cl, ok := ast.Unparen(nd.X).(*ast.CompositeLit); ok {
+				handledLit[cl] = true
+				flag(nd.Pos(), "&"+allocLitName(pass, cl)+"{...} allocates per iteration",
+					"hoist the value outside the loop and reuse it")
+			}
+		case *ast.CompositeLit:
+			if handledLit[nd] {
+				return true
+			}
+			t := pass.TypeOf(nd)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				flag(nd.Pos(), allocLitName(pass, nd)+" literal allocates per iteration",
+					"hoist it, or fill a slab reset with x = x[:0] (retain grammar)")
+			}
+		case *ast.CallExpr:
+			if name, ok := sprintfFamily(pass, nd); ok {
+				flag(nd.Pos(), "fmt."+name+" allocates its result per iteration",
+					"format once outside the loop or append into a reused []byte")
+			}
+			if what, ok := allocConversion(pass, nd); ok {
+				flag(nd.Pos(), what+" conversion copies per iteration",
+					"keep one representation across the loop or reuse a slab")
+			}
+		case *ast.FuncLit:
+			flag(nd.Pos(), "function literal allocates a closure per iteration",
+				"hoist the closure (and the variables it captures) outside the loop")
+			return true // still audit allocations inside the literal
+		}
+		return true
+	})
+}
+
+// allochotAssign judges one assignment pair inside a loop: appends and
+// makes.
+func allochotAssign(pass *Pass, lhs, rhs ast.Expr, slabs, madeWithCap, sliceAlias map[types.Object]bool,
+	flag func(token.Pos, string, string)) {
+
+	obj := rootObject(pass, lhs)
+	if isAppendTo(pass, lhs, rhs) {
+		if resetAppend(pass, rhs) {
+			return // append(x[:0], ...): slab reuse
+		}
+		if obj != nil && (slabs[obj] || madeWithCap[obj] || sliceAlias[obj]) {
+			return // reuse discipline established elsewhere in the function
+		}
+		flag(rhs.Pos(), "cap-unguarded append into "+types.ExprString(lhs)+" grows per iteration",
+			"preallocate with make(T, 0, n), adopt the retain slab grammar, or stream instead of collecting")
+		return
+	}
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isMakeCall(pass, call) {
+		if obj != nil && slabs[obj] {
+			return // cap-guard regrow: the slab grammar's own make
+		}
+		flag(call.Pos(), "make("+types.ExprString(call.Args[0])+", ...) allocates per iteration",
+			"hoist the make and reset with x = x[:0], or cap-guard it (if cap(x) < n { x = make(...) })")
+	}
+}
+
+// isMakeCall matches the builtin make.
+func isMakeCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// sprintfFamily matches the per-call-allocating fmt formatters.
+func sprintfFamily(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Sprintf", "Sprint", "Sprintln":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// allocConversion matches string↔[]byte/[]rune conversions, the ones
+// that copy their operand.
+func allocConversion(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	dst, src := tv.Type, pass.TypeOf(call.Args[0])
+	if dst == nil || src == nil {
+		return "", false
+	}
+	switch {
+	case isStringKind(dst) && isByteishKind(src):
+		return "[]byte→string", true
+	case isByteishKind(dst) && isStringKind(src):
+		return "string→" + types.TypeString(dst, nil), true
+	}
+	return "", false
+}
+
+func isStringKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteishKind(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// allocLitName renders a composite literal's type for the message.
+func allocLitName(pass *Pass, cl *ast.CompositeLit) string {
+	if cl.Type != nil {
+		return types.ExprString(cl.Type)
+	}
+	if t := pass.TypeOf(cl); t != nil {
+		return t.String()
+	}
+	return "composite"
+}

@@ -151,8 +151,10 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 }
 
 // DefaultAnalyzers returns every check, in stable order: the six
-// intraprocedural tripwires, then the nine call-graph / dataflow
-// checks (the last four are the memory-discipline layer).
+// intraprocedural tripwires, then the twelve call-graph / dataflow
+// checks (growbound through mergeable are the memory-discipline layer;
+// the last three are the generator-discipline layer built on the
+// escape/alias summaries).
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer,
@@ -170,6 +172,9 @@ func DefaultAnalyzers() []*Analyzer {
 		RetainAnalyzer,
 		GoleakAnalyzer,
 		MergeableAnalyzer,
+		RandsplitAnalyzer,
+		AllochotAnalyzer,
+		SinkretainAnalyzer,
 	}
 }
 
@@ -212,7 +217,7 @@ func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 			a.RunModule(mp)
 		}
 	}
-	diags = dedupeErrdrop(diags)
+	diags = dedupeOverlaps(diags)
 	diags = ign.filter(diags, 0)
 	if len(typeErrs) > 0 {
 		n := len(typeErrs)
@@ -237,32 +242,47 @@ func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// dedupeErrdrop resolves the closecheck/errdrop overlap: both flag a
-// dropped Close/Flush error at the same call position, and a single
-// dropped error must produce a single diagnostic. closecheck wins — its
-// message is the more specific — and the dedupe runs before suppression
-// filtering, so one //wearlint:ignore closecheck on the line silences
-// the finding entirely rather than unmasking the errdrop twin.
-func dedupeErrdrop(diags []Diagnostic) []Diagnostic {
+// overlapPriority maps a general check to the more specific checks that
+// outrank it when both flag the same site: closecheck beats errdrop
+// (both flag one dropped Close/Flush error at one call), and
+// retain/growbound beat allochot (a slab-retention or unbounded-growth
+// finding subsumes the generic per-iteration allocation complaint). The
+// overlap key is the line, not the column — the specific checks anchor
+// on the offending argument while allochot anchors on the statement.
+var overlapPriority = map[string][]string{
+	"errdrop":  {"closecheck"},
+	"allochot": {"retain", "growbound"},
+}
+
+// dedupeOverlaps drops a general check's diagnostic when a more
+// specific check (per overlapPriority) flagged the same line. It runs
+// before suppression filtering, so one //wearlint:ignore of the winning
+// check silences the site entirely rather than unmasking the general
+// twin.
+func dedupeOverlaps(diags []Diagnostic) []Diagnostic {
 	type key struct {
-		file      string
-		line, col int
+		check string
+		file  string
+		line  int
 	}
-	closePos := make(map[key]bool)
+	at := make(map[key]bool)
 	for _, d := range diags {
-		if d.Check == "closecheck" {
-			closePos[key{d.Pos.Filename, d.Pos.Line, d.Pos.Column}] = true
+		if _, general := overlapPriority[d.Check]; !general {
+			at[key{d.Check, d.Pos.Filename, d.Pos.Line}] = true
 		}
-	}
-	if len(closePos) == 0 {
-		return diags
 	}
 	out := diags[:0]
 	for _, d := range diags {
-		if d.Check == "errdrop" && closePos[key{d.Pos.Filename, d.Pos.Line, d.Pos.Column}] {
-			continue
+		drop := false
+		for _, winner := range overlapPriority[d.Check] {
+			if at[key{winner, d.Pos.Filename, d.Pos.Line}] {
+				drop = true
+				break
+			}
 		}
-		out = append(out, d)
+		if !drop {
+			out = append(out, d)
+		}
 	}
 	return out
 }

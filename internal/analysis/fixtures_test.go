@@ -764,10 +764,10 @@ func TestLoadTreeMergeableClean(t *testing.T) {
 	}
 }
 
-// TestWriteJSONMemoryChecks runs each memory-discipline analyzer over
-// its flagged tree twice and demands byte-identical JSON both times,
-// with the check present in the emitted report — the emitter contract
-// extended to the four new checks.
+// TestWriteJSONMemoryChecks runs each memory- and generator-discipline
+// analyzer over its flagged tree twice and demands byte-identical JSON
+// both times, with the check present in the emitted report — the
+// emitter contract extended to every module-level check.
 func TestWriteJSONMemoryChecks(t *testing.T) {
 	for _, tc := range []struct {
 		dir, mount string
@@ -777,6 +777,9 @@ func TestWriteJSONMemoryChecks(t *testing.T) {
 		{"retain", "internal/mnet/codec", RetainAnalyzer},
 		{"goleak", "internal/mnet", GoleakAnalyzer},
 		{"mergeable", "internal", MergeableAnalyzer},
+		{"randsplit", "internal", RandsplitAnalyzer},
+		{"allochot", "internal", AllochotAnalyzer},
+		{"sinkretain", "internal", SinkretainAnalyzer},
 	} {
 		var bufs [2]bytes.Buffer
 		for i := range bufs {
@@ -798,6 +801,198 @@ func TestWriteJSONMemoryChecks(t *testing.T) {
 		}
 		if !strings.Contains(bufs[0].String(), `"check": "`+tc.a.Name+`"`) {
 			t.Errorf("%s: emitted JSON carries no %q finding:\n%s", tc.dir, tc.a.Name, bufs[0].String())
+		}
+	}
+}
+
+// TestLoadTreeRandsplit pins all four stream-independence rules over
+// the seeded tree: a shard callback drawing from a captured parent, one
+// parent fanned into two go statements, a loop-spawned capture, a
+// parent drawn after its child was handed off, and every key-discipline
+// violation (loop counter, map-range variable, non-constant label) —
+// while the Split-per-worker and stable-identity spellings stay silent
+// and the sub-package finding carries its chain from the gen root.
+func TestLoadTreeRandsplit(t *testing.T) {
+	diags := checkTree(t, "randsplit", "internal", RandsplitAnalyzer)
+
+	var capture, fan, loopSpawn, order, label, chained *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		switch {
+		case strings.Contains(d.Message, "rng capture"):
+			capture = d
+		case strings.Contains(d.Message, "spawned inside a loop"):
+			loopSpawn = d
+		case strings.Contains(d.Message, "rng fan-out"):
+			fan = d
+		case strings.Contains(d.Message, "rng order"):
+			order = d
+		case strings.Contains(d.Message, "is not a constant"):
+			label = d
+		}
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/sub/") {
+			chained = d
+		}
+	}
+	if capture == nil {
+		t.Errorf("no rng-capture diagnostic for the shard callback; got %v", diags)
+	}
+	if fan == nil {
+		t.Errorf("no rng fan-out diagnostic for the two-goroutine flow; got %v", diags)
+	}
+	if loopSpawn == nil {
+		t.Errorf("no diagnostic for the loop-spawned goroutine capture; got %v", diags)
+	}
+	if order == nil {
+		t.Errorf("no rng-order diagnostic for the draw after handoff; got %v", diags)
+	}
+	if label == nil {
+		t.Errorf("no diagnostic for the non-constant Split label; got %v", diags)
+	}
+	for _, role := range []string{"loop counter", "map-range variable"} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, role) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no key-discipline diagnostic names the %s role", role)
+		}
+	}
+	if chained == nil {
+		t.Fatalf("no diagnostic for the sub package one hop below the root; got %v", diags)
+	}
+	if !strings.Contains(chained.Message, "reached via internal/gen.Stable") {
+		t.Errorf("sub finding must render the chain from the gen root: %q", chained.Message)
+	}
+	if len(chained.Path) == 0 {
+		t.Errorf("sub finding must carry Path steps for chain-aware suppression, got none")
+	}
+}
+
+// TestLoadTreeRandsplitClean runs the check over a tree that splits by
+// stable identity and hands every worker its own child: zero findings.
+func TestLoadTreeRandsplitClean(t *testing.T) {
+	if _, diags := runTree(t, "randsplitclean", "internal", RandsplitAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeAllochot pins the hot-path allocation check: every
+// per-iteration shape in the sim root flags (pointer and container
+// literals, cap-unguarded append, bare make, Sprintf, string
+// conversion, closure), the helper one hop below carries its chain, the
+// reachable-but-exempt population package stays silent, and every reuse
+// discipline passes.
+func TestLoadTreeAllochot(t *testing.T) {
+	diags := checkTree(t, "allochot", "internal", AllochotAnalyzer)
+
+	var chained *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/help/") {
+			chained = d
+		}
+		if !strings.Contains(d.Message, "ROADMAP item 2") {
+			t.Errorf("allochot message lacks the worklist pointer: %q", d.Message)
+		}
+	}
+	if chained == nil {
+		t.Fatalf("no diagnostic for the helper package; got %v", diags)
+	}
+	if !strings.Contains(chained.Message, "reached via internal/gen/sim.Generate") {
+		t.Errorf("helper finding must render the chain from the sim root: %q", chained.Message)
+	}
+	if len(chained.Path) == 0 {
+		t.Errorf("helper finding must carry Path steps for chain-aware suppression, got none")
+	}
+}
+
+// TestLoadTreeAllochotClean runs the check over the all-reuse tree:
+// zero findings.
+func TestLoadTreeAllochotClean(t *testing.T) {
+	if _, diags := runTree(t, "allochotclean", "internal", AllochotAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeSinkretain pins the Sink-contract retention check: every
+// escape spelling on the record parameter flags (field store, map
+// insert, append, channel send, goroutine capture), the retention one
+// call below the method carries the forwarding chain, and the scalar
+// UserDone parameter stays silent everywhere.
+func TestLoadTreeSinkretain(t *testing.T) {
+	diags := checkTree(t, "sinkretain", "internal", SinkretainAnalyzer)
+
+	for _, verb := range []string{
+		"stored into state that outlives the call",
+		"inserted into an outliving map",
+		"appended into outliving storage",
+		"sent on a channel",
+		"captured by a goroutine",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, verb) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no sinkretain diagnostic says the record is %q; got %v", verb, diags)
+		}
+	}
+	var chained *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(d.Message, "fwdSink") {
+			chained = d
+		}
+		if !strings.Contains(d.Message, "DESIGN.md §8") {
+			t.Errorf("sinkretain message lacks the contract pointer: %q", d.Message)
+		}
+	}
+	if chained == nil {
+		t.Fatalf("no diagnostic carries the forwarding chain through fwdSink.Proxy; got %v", diags)
+	}
+	if !strings.Contains(chained.Message, "vault).put") {
+		t.Errorf("forwarded finding must name the terminal callee vault.put: %q", chained.Message)
+	}
+	if len(chained.Path) == 0 {
+		t.Errorf("forwarded finding must carry Path steps for chain-aware suppression, got none")
+	}
+}
+
+// TestLoadTreeSinkretainClean runs the check over the folding sink and
+// the half-contract keeper: zero findings.
+func TestLoadTreeSinkretainClean(t *testing.T) {
+	if _, diags := runTree(t, "sinkretainclean", "internal", SinkretainAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestGoldenAllocOverlapDedupe pins the allochot overlap rule: when the
+// specific checks run alongside it, growbound wins the materialising
+// append and retain wins the slab-header append, each yielding a single
+// diagnostic per line — and allochot alone still covers both sites.
+func TestGoldenAllocOverlapDedupe(t *testing.T) {
+	_, both := runTree(t, "allocoverlap", "internal", GrowboundAnalyzer, RetainAnalyzer, AllochotAnalyzer)
+	if len(both) != 2 {
+		t.Fatalf("want exactly 2 deduped diagnostics, got %d: %v", len(both), both)
+	}
+	for _, d := range both {
+		if d.Check == "allochot" {
+			t.Errorf("dedupe must keep the specific check over allochot, got %q at %s", d.Check, d)
+		}
+	}
+
+	_, alone := runTree(t, "allocoverlap", "internal", AllochotAnalyzer)
+	if len(alone) != 2 {
+		t.Fatalf("allochot alone must still flag both append sites, got %d: %v", len(alone), alone)
+	}
+	for _, d := range alone {
+		if d.Check != "allochot" {
+			t.Errorf("solo run produced %q, want allochot: %s", d.Check, d)
 		}
 	}
 }

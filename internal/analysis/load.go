@@ -33,6 +33,9 @@ type Module struct {
 	graph *CallGraph
 	// defuse caches per-function dataflow summaries keyed by body.
 	defuse map[*ast.BlockStmt]*DefUse
+	// escape caches the module-wide escape summaries per flavor (the
+	// carries predicate's name), computed once like the pass cache.
+	escape map[string]*EscapeSet
 	// ign caches the module-wide suppression index; ignMalformed keeps
 	// the malformed-directive diagnostics to re-emit on every Run.
 	ign          ignoreIndex

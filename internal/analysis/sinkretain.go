@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SinkretainAnalyzer turns the streaming engine's documented memory
+// contract (DESIGN.md §8) into a machine-checked one: an implementation
+// of the internal/stream Sink interface receives each record exactly
+// once and must not let it escape the call — no field store, map
+// insert, append into outliving storage, channel send or goroutine
+// capture of the record parameter. A sink that keeps records defeats
+// the bounded-memory guarantee the interface exists to provide; fold
+// records into scalar accumulators, or copy what must outlive the call.
+//
+// Approximation rules (DESIGN.md §5): implementations are matched by
+// method set (name + printed signature, the cross-universe discipline
+// the call graph's dynamic dispatch uses); only parameters whose type
+// transitively contains an internal/mnet Record are audited, and the
+// escape layer's type-filtered value flow applies — folding record
+// fields into scalars never flags, laundering through interfaces or
+// call results is not tracked. Escapes inside callees are reported at
+// the terminal site with the forwarding chain, so one suppression on
+// the retaining store covers every sink method that reaches it.
+var SinkretainAnalyzer = &Analyzer{
+	Name:      "sinkretain",
+	Doc:       "stream.Sink implementations must not let record parameters escape the call",
+	RunModule: runSinkretain,
+}
+
+// sinkContract returns the Sink interface's method set as name →
+// printed signature, or nil when internal/stream is not part of the
+// module (fixture trees without the contract).
+func sinkContract(mod *Module) map[string]string {
+	u := mod.unitFor("internal/stream")
+	if u == nil {
+		return nil
+	}
+	pass, _ := mod.pass(u)
+	if pass == nil || pass.Pkg == nil {
+		return nil
+	}
+	tn, ok := pass.Pkg.Scope().Lookup("Sink").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	out := map[string]string{}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		out[m.Name()] = sigTypesKey(m.Type())
+	}
+	return out
+}
+
+// sigTypesKey prints a signature by parameter and result types alone,
+// pkg-path qualified. Unlike sigKey it drops the variable names: the
+// interface and its implementations spell them differently, and the
+// method-set match must not care.
+func sigTypesKey(t types.Type) string {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	qual := func(p *types.Package) string { return p.Path() }
+	var sb strings.Builder
+	tuple := func(tu *types.Tuple) {
+		sb.WriteByte('(')
+		for i := 0; i < tu.Len(); i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(types.TypeString(tu.At(i).Type(), qual))
+		}
+		sb.WriteByte(')')
+	}
+	tuple(sig.Params())
+	sb.WriteString("→")
+	tuple(sig.Results())
+	if sig.Variadic() {
+		sb.WriteString("...")
+	}
+	return sb.String()
+}
+
+// recvKey names a method's receiver type across type-check universes.
+func recvKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+func runSinkretain(mp *ModulePass) {
+	mod, g := mp.Mod, mp.Graph
+	want := sinkContract(mod)
+	if len(want) == 0 {
+		return
+	}
+	es := mod.EscapeSummaries("record", func(t types.Type) bool {
+		return containsRecordType(mod, t)
+	})
+
+	// Group module methods by receiver type, keeping deterministic
+	// receiver order for reporting.
+	byRecv := map[string]map[string]*Node{}
+	var recvs []string
+	g.Walk(func(n *Node) {
+		if !n.InModule || n.Fn == nil || n.Decl == nil || n.Decl.Body == nil {
+			return
+		}
+		key := recvKey(n.Fn)
+		if key == "" {
+			return
+		}
+		if byRecv[key] == nil {
+			byRecv[key] = map[string]*Node{}
+			recvs = append(recvs, key)
+		}
+		byRecv[key][n.Fn.Name()] = n
+	})
+	sort.Strings(recvs)
+
+	reported := map[string]bool{}
+	for _, key := range recvs {
+		methods := byRecv[key]
+		impl := true
+		for name, sk := range want {
+			n := methods[name]
+			if n == nil || sigTypesKey(n.Fn.Type()) != sk {
+				impl = false
+				break
+			}
+		}
+		if !impl {
+			continue
+		}
+		var names []string
+		for name := range want {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sinkretainMethod(mp, es, methods[name], reported)
+		}
+	}
+}
+
+// sinkretainMethod reports every escape of a record-bearing parameter
+// of one Sink method.
+func sinkretainMethod(mp *ModulePass, es *EscapeSet, n *Node, reported map[string]bool) {
+	if n.Test {
+		return
+	}
+	mod := mp.Mod
+	fe := es.Of(n)
+	if fe == nil {
+		return
+	}
+	params := declParams(n.Pass, n.Decl.Type)
+	for i, obj := range params {
+		if i >= len(fe.Params) || !containsRecordType(mod, obj.Type()) {
+			continue
+		}
+		pe := fe.Params[i]
+		for _, k := range escKindOrder {
+			if k&escHeapKinds == 0 || pe.Kinds&k == 0 {
+				continue
+			}
+			pos := pe.Site[k]
+			key := mod.Fset.Position(pos).String() + "#" + k.Describe()
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			steps := append([]PathStep(nil), pe.Steps[k]...)
+			where := ""
+			if len(steps) > 0 {
+				chain := append(append([]PathStep(nil), steps...), PathStep{Func: pe.Terminal[k]})
+				where = " in " + pe.Terminal[k] + " (via " + renderSteps(chain) + ")"
+			}
+			mp.Reportf(pos, steps,
+				"sink retention: record parameter %s of %s (a stream.Sink implementation) is %s%s; a Sink must fold records into bounded accumulators or copy what it keeps before returning (DESIGN.md §8)",
+				obj.Name(), n.DisplayName(mod), k.Describe(), where)
+		}
+	}
+}

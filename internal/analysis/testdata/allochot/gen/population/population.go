@@ -1,0 +1,12 @@
+// Package population is reachable from the sim root but sits on the
+// exempt list: build-once setup may allocate freely.
+package population
+
+// Setup allocates per iteration; the exemption keeps it silent.
+func Setup(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return len(out)
+}

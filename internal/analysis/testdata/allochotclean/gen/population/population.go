@@ -1,0 +1,12 @@
+// Package population is exempt setup: its allocations never count
+// against the hot path.
+package population
+
+// Setup allocates per iteration; the exemption keeps it silent.
+func Setup(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return len(out)
+}

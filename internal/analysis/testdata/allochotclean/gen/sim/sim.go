@@ -1,0 +1,39 @@
+// Package sim holds only the reuse disciplines: slab grammar,
+// make-with-cap, in-place filtering, value literals and hoisted
+// closures — nothing allocates per record.
+package sim
+
+import "wearwild/internal/gen/population"
+
+// Event is one generated record.
+type Event struct{ ID int }
+
+// Generate fills a preallocated buffer through a reused slab.
+func Generate(n int) int {
+	out := make([]Event, 0, n)
+	var slab []byte
+	square := func(x int) int { return x * x }
+	total := 0
+	for i := 0; i < n; i++ {
+		slab = slab[:0]
+		if cap(slab) < i {
+			slab = make([]byte, 0, i)
+		}
+		slab = append(slab, byte(i))
+		out = append(out, Event{ID: square(i)})
+		total += len(slab)
+	}
+	return total + len(out) + population.Setup(n)
+}
+
+// Filter keeps matching events in place, aliasing the input backing
+// array instead of growing a fresh one.
+func Filter(evs []Event) []Event {
+	keep := evs[:0]
+	for _, e := range evs {
+		if e.ID > 0 {
+			keep = append(keep, e)
+		}
+	}
+	return keep
+}

@@ -1,0 +1,9 @@
+// Package proxylog declares the record type both growbound and the
+// allocation check key on.
+package proxylog
+
+// Record is one proxy log line.
+type Record struct {
+	IMSI  uint64
+	Bytes int64
+}

@@ -1,0 +1,29 @@
+// Package pack is reachable from both the study root (growbound's
+// surface) and the generator root (allochot's surface): Collect's
+// materialising append is flagged by both checks on the same line, and
+// Pack's slab-header append is flagged by retain and allochot on the
+// same line. The dedupe keeps the more specific check each time.
+package pack
+
+import "wearwild/internal/mnet/proxylog"
+
+// Collect materialises the whole log and hands it back.
+func Collect(recs []proxylog.Record) []proxylog.Record {
+	var all []proxylog.Record
+	for _, r := range recs {
+		all = append(all, r) // want growbound
+	}
+	return all
+}
+
+// Pack reuses a scratch slab and appends its header into the output.
+func Pack(chunks [][]byte) [][]byte {
+	var out [][]byte
+	var buf []byte
+	for _, c := range chunks {
+		buf = buf[:0]
+		buf = append(buf, c...)
+		out = append(out, buf) // want retain
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Package gen mounts at the generator root: its Split calls seed every
+// key-discipline violation — loop-counter key, map-range key,
+// non-constant label — next to the stable-identity spellings that pass,
+// and its call into sub makes that package's finding carry a chain.
+package gen
+
+import (
+	"wearwild/internal/randx"
+	"wearwild/internal/simtime"
+	"wearwild/internal/sub"
+)
+
+// Users derives one child per subscriber keyed by the loop counter: the
+// violation the parallel generator must not ship.
+func Users(root *randx.Rand, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := root.Split("user", uint64(i)) // want randsplit
+		sum += r.Float64()
+	}
+	return sum
+}
+
+// Cities keys children off a map-range variable: iteration order leaks
+// into the stream assignment.
+func Cities(root *randx.Rand, m map[uint64]int) float64 {
+	var sum float64
+	for id := range m {
+		r := root.Split("city", id) // want randsplit
+		sum += r.Float64()
+	}
+	return sum
+}
+
+// Labeled passes a computed label: labels must be compile-time
+// constants on generator paths.
+func Labeled(root *randx.Rand, lbl string) float64 {
+	r := root.Split(lbl, 0) // want randsplit
+	return r.Float64()
+}
+
+// Stable shows the sanctioned spellings: parameter-derived identity,
+// simtime coordinates, constant ids and slice-range element identity.
+func Stable(root *randx.Rand, imsi uint64) float64 {
+	u := root.Split("user", imsi)
+	sum := u.Float64()
+	for d := simtime.Day(0); d < 7; d++ {
+		sum += u.Split("day", uint64(d)).Float64()
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		sum += u.Split("fixed", id).Float64()
+	}
+	return sum + sub.Helper(u, 3)
+}

@@ -1,0 +1,25 @@
+// Package randx is the fixture stand-in for the real splittable RNG:
+// the analyzer matches the Rand type by package path and name, so the
+// generator here is a trivial counter.
+package randx
+
+// Rand is a deterministic stream.
+type Rand struct{ state uint64 }
+
+// New returns a root stream.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Split derives a child stream; it never advances the parent.
+func (r *Rand) Split(label string, id uint64) *Rand {
+	h := r.state
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+	}
+	return &Rand{state: h ^ id}
+}
+
+// Uint64 draws the next value, advancing the stream.
+func (r *Rand) Uint64() uint64 { r.state += 0x9e3779b9; return r.state }
+
+// Float64 draws a uniform sample, advancing the stream.
+func (r *Rand) Float64() float64 { return float64(r.Uint64()%1000) / 1000 }

@@ -1,0 +1,9 @@
+// Package simtime is the fixture stand-in for simulation time: Day and
+// Week are the stable per-period coordinates the key rule exempts.
+package simtime
+
+// Day indexes a simulated day.
+type Day int
+
+// Week indexes a simulated week.
+type Week int

@@ -1,0 +1,15 @@
+// Package sub sits one call below the generator root, so its finding
+// carries the chain from gen.Stable.
+package sub
+
+import "wearwild/internal/randx"
+
+// Helper keys a child off its own loop counter; the diagnostic renders
+// the chain from the gen root.
+func Helper(r *randx.Rand, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Split("h", uint64(i)).Float64() // want randsplit
+	}
+	return sum
+}

@@ -1,0 +1,9 @@
+// Package shard is the fixture stand-in for the shard runtime.
+package shard
+
+// Run executes fn(i) for i in [0, n).
+func Run(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

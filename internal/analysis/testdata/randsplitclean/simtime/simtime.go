@@ -1,0 +1,5 @@
+// Package simtime is the fixture stand-in for simulation time.
+package simtime
+
+// Day indexes a simulated day.
+type Day int

@@ -1,0 +1,10 @@
+// Package proxylog declares the record type the escape layer tracks:
+// any named Record under the mnet tree carries record data.
+package proxylog
+
+// Record is one proxy log line.
+type Record struct {
+	IMSI  uint64
+	Host  string
+	Bytes int64
+}

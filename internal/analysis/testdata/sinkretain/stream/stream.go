@@ -1,0 +1,13 @@
+// Package stream is the fixture stand-in for the streaming contract:
+// the analyzer reads the Sink interface's method set by name and
+// printed parameter/result types, so the interface here mirrors the
+// real contract's shape with a single record feed.
+package stream
+
+import "wearwild/internal/mnet/proxylog"
+
+// Sink receives each record exactly once and must not retain it.
+type Sink interface {
+	Proxy(rec proxylog.Record) error
+	UserDone(imsi uint64) error
+}

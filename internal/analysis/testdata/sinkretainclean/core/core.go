@@ -1,0 +1,40 @@
+// Package core holds the sanctioned streaming shapes: a sink that
+// folds every record into bounded scalar accumulators, and a type that
+// stores records but implements only half the contract, so the Sink
+// rule does not apply to it.
+package core
+
+import "wearwild/internal/mnet/proxylog"
+
+// foldSink folds each record into per-user scalar accumulators and
+// evicts the user's slot when the stream says it is done.
+type foldSink struct {
+	bytes int64
+	count int
+	users map[uint64]int64
+}
+
+// Proxy implements stream.Sink by folding, never retaining.
+func (s *foldSink) Proxy(r proxylog.Record) error {
+	s.bytes += r.Bytes
+	s.users[r.IMSI] += r.Bytes
+	s.count++
+	return nil
+}
+
+// UserDone implements stream.Sink by evicting the finished user.
+func (s *foldSink) UserDone(imsi uint64) error {
+	delete(s.users, imsi)
+	return nil
+}
+
+// keeper stores records but implements only Proxy: without the full
+// contract it is not a Sink, and the rule stays quiet.
+type keeper struct{ all []proxylog.Record }
+
+// Proxy looks like the contract method but the type never satisfies
+// stream.Sink.
+func (k *keeper) Proxy(r proxylog.Record) error {
+	k.all = append(k.all, r)
+	return nil
+}

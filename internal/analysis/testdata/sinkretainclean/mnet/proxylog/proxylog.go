@@ -1,0 +1,9 @@
+// Package proxylog declares the record type the escape layer tracks.
+package proxylog
+
+// Record is one proxy log line.
+type Record struct {
+	IMSI  uint64
+	Host  string
+	Bytes int64
+}

@@ -1,0 +1,10 @@
+// Package stream is the fixture stand-in for the streaming contract.
+package stream
+
+import "wearwild/internal/mnet/proxylog"
+
+// Sink receives each record exactly once and must not retain it.
+type Sink interface {
+	Proxy(rec proxylog.Record) error
+	UserDone(imsi uint64) error
+}

@@ -131,6 +131,7 @@ func (g *Generator) DayVisits(u *population.User, d simtime.Day, r *randx.Rand) 
 		trips := r.Poisson(g.cfg.LeisureTripMeanWeekday * 1.5 * engagementScale(u))
 		start := 9 * 60.0
 		for i := 0; i < trips && start < 20*60; i++ {
+			//wearlint:ignore allochot item-2 worklist: per-trip visit growth; reuse a visits slab reset per day
 			visits = append(visits, g.trip(u, u.Home, start, day, r)...)
 			start += (2 + 3*r.Float64()) * 60
 		}
@@ -138,6 +139,7 @@ func (g *Generator) DayVisits(u *population.User, d simtime.Day, r *randx.Rand) 
 		trips := r.Poisson(g.cfg.LeisureTripMeanWeekend * engagementScale(u))
 		start := 10 * 60.0
 		for i := 0; i < trips && start < 20*60; i++ {
+			//wearlint:ignore allochot item-2 worklist: per-trip visit growth; reuse a visits slab reset per day
 			visits = append(visits, g.trip(u, u.Home, start, day, r)...)
 			start += (2 + 3*r.Float64()) * 60
 		}
@@ -193,6 +195,7 @@ func (g *Generator) commuteLeg(from, to geo.Point, departMin float64, day time.T
 		f := float64(i) / float64(stops+1)
 		p := interpolate(from, to, f)
 		p = geo.Offset(p, r.NormFloat64()*1.5, r.NormFloat64()*1.5) // off the straight line
+		//wearlint:ignore allochot item-2 worklist: per-stop leg growth; make(cap stops) — the count is known before the loop
 		out = append(out, Visit{
 			Time:   day.Add(time.Duration((departMin + f*legMinutes) * float64(time.Minute))),
 			Sector: g.topo.Nearest(p),

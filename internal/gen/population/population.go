@@ -340,8 +340,12 @@ func Build(cfg Config, country geo.Country, topo *cells.Topology, db *devicedb.D
 	total := cfg.WearableUsers + cfg.OrdinaryUsers
 	for i := 0; i < total; i++ {
 		owner := i < cfg.WearableUsers
-		r := root.Split("user", uint64(i))
 		u := &User{IMSI: subs.MustNew(uint64(100000 + i))}
+		// The per-user stream is keyed by the subscriber's MSIN — stable
+		// identity that survives resharding — not by the loop index. The
+		// two coincide today (MSIN = 100000 + i), so the derived streams
+		// and every downstream byte are unchanged.
+		r := root.Split("user", u.IMSI.MSIN()-100000)
 
 		// Engagement: wearable owners skew young/tech-oriented.
 		u.Engagement = r.LogNormal(0, cfg.EngagementSigma)

@@ -72,12 +72,15 @@ func (s *StreamSource) Stream(sink stream.Sink) error {
 		// Time (proxy, MME) and keyed (week, imsi, imei) for UDR, so a
 		// user's subsequence of the sorted whole log equals the stable
 		// per-user sort of their own records.
+		//wearlint:ignore allochot item-2 worklist: per-user sort closure; hoist a comparator over an indirection the loop rebinds
 		sort.SliceStable(out.proxy, func(a, b int) bool {
 			return out.proxy[a].Time.Before(out.proxy[b].Time)
 		})
+		//wearlint:ignore allochot item-2 worklist: per-user sort closure; hoist a comparator over an indirection the loop rebinds
 		sort.SliceStable(out.mme, func(a, b int) bool {
 			return out.mme[a].Time.Before(out.mme[b].Time)
 		})
+		//wearlint:ignore allochot item-2 worklist: per-user sort closure; hoist a comparator over an indirection the loop rebinds
 		sort.Slice(out.udr, func(a, b int) bool {
 			x, y := out.udr[a], out.udr[b]
 			if x.Week != y.Week {

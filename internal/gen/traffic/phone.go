@@ -81,6 +81,7 @@ func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Ra
 		if rec.BytesUp+rec.BytesDown < 200 {
 			rec.BytesDown = 200
 		}
+		//wearlint:ignore allochot item-2 worklist: per-transaction growth; make(cap) from the day's sampled transaction count
 		out = append(out, rec)
 	}
 
@@ -97,6 +98,7 @@ func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Ra
 			for b := 0; b < burst; b++ {
 				bytes := r.LogNormalMedian(5200, 0.8)
 				up := int64(bytes * 0.35)
+				//wearlint:ignore allochot item-2 worklist: TD companion-burst growth; fold into the same preallocated day slice
 				out = append(out, proxylog.Record{
 					Time:      t,
 					IMSI:      u.IMSI,

@@ -257,6 +257,7 @@ func (g *Generator) WearableDay(u *population.User, d simtime.Day, visits []mobi
 			start := d.Time().
 				Add(time.Duration(hour) * time.Hour).
 				Add(time.Duration(r.IntN(3300)) * time.Second)
+			//wearlint:ignore allochot item-2 worklist: per-session wearable growth; make(cap) from the day's session budget
 			out = append(out, g.session(u, app, start, dayEnd(d), r)...)
 		}
 	}
