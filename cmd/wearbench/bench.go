@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -31,9 +32,17 @@ type BenchReport struct {
 	Workers    int    `json:"workers"`
 
 	// Timings in milliseconds, allocations in bytes (TotalAlloc deltas).
-	GenerateMs         float64 `json:"generate_ms"`
-	GenerateAllocBytes uint64  `json:"generate_alloc_bytes"`
-	StudySeqMs         float64 `json:"study_sequential_ms"`
+	// GenerateMs/GenerateAllocBytes are the sequential (Workers=1)
+	// generator run, comparable across baselines regardless of host
+	// shape; GenerateParallelMs is the run at the -workers setting and
+	// SpeedupGenerate the sequential/parallel ratio. GenerateSweep
+	// records every worker count measured.
+	GenerateMs         float64              `json:"generate_ms"`
+	GenerateAllocBytes uint64               `json:"generate_alloc_bytes"`
+	GenerateParallelMs float64              `json:"generate_parallel_ms"`
+	SpeedupGenerate    float64              `json:"speedup_generate"`
+	GenerateSweep      []GenerateSweepEntry `json:"generate_sweep"`
+	StudySeqMs         float64              `json:"study_sequential_ms"`
 	StudySeqAllocBytes uint64  `json:"study_sequential_alloc_bytes"`
 	StudyParMs         float64 `json:"study_parallel_ms"`
 	StudyParAllocBytes uint64  `json:"study_parallel_alloc_bytes"`
@@ -56,6 +65,13 @@ type BenchReport struct {
 
 	MetricsPass  int `json:"metrics_pass"`
 	MetricsTotal int `json:"metrics_total"`
+}
+
+// GenerateSweepEntry is one generator run of the per-worker sweep.
+type GenerateSweepEntry struct {
+	Workers    int     `json:"workers"`
+	Ms         float64 `json:"ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
 }
 
 // allocSnapshot returns cumulative heap bytes allocated so far.
@@ -121,6 +137,9 @@ func peakHeapDuring(fn func() error) (peak uint64, err error) {
 
 // runBenchJSON executes the benchmark protocol and writes the report.
 func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, workers int, baselinePath string) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	rep := &BenchReport{
 		Schema:     1,
 		Seed:       seed,
@@ -132,14 +151,39 @@ func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, w
 		Figures:    map[string]float64{},
 	}
 
+	// Generator sweep: the shard-and-merge generator is byte-identical
+	// at any worker count, so every run below produces the same dataset
+	// and only the timings differ. The -workers run's dataset feeds the
+	// study phases.
+	sweep := []int{1, 2, 4, 8}
+	if !slices.Contains(sweep, workers) {
+		sweep = append(sweep, workers)
+	}
 	var ds *wearwild.Dataset
 	var err error
-	rep.GenerateMs, rep.GenerateAllocBytes, err = timed(func() error {
-		ds, err = wearwild.Generate(cfg)
-		return err
-	})
-	if err != nil {
-		return err
+	for _, w := range sweep {
+		gcfg := cfg
+		gcfg.Workers = w
+		var cur *wearwild.Dataset
+		ms, alloc, terr := timed(func() error {
+			var err error
+			cur, err = wearwild.Generate(gcfg)
+			return err
+		})
+		if terr != nil {
+			return terr
+		}
+		rep.GenerateSweep = append(rep.GenerateSweep, GenerateSweepEntry{Workers: w, Ms: ms, AllocBytes: alloc})
+		if w == 1 {
+			rep.GenerateMs, rep.GenerateAllocBytes = ms, alloc
+		}
+		if w == workers {
+			rep.GenerateParallelMs = ms
+			ds = cur
+		}
+	}
+	if rep.GenerateParallelMs > 0 {
+		rep.SpeedupGenerate = rep.GenerateMs / rep.GenerateParallelMs
 	}
 
 	seqCfg := core.DefaultConfig()
@@ -236,6 +280,11 @@ func runBenchJSON(out io.Writer, cfg wearwild.Config, seed uint64, small bool, w
 		return fmt.Errorf("parallel study speedup %.2fx below the %.2fx floor on a %d-CPU host",
 			rep.SpeedupStudy, minSpeedup, rep.NumCPU)
 	}
+	// The sharded generator shares the floor and the single-CPU skip.
+	if !rep.SpeedupGateSkipped && rep.SpeedupGenerate > 0 && rep.SpeedupGenerate < minSpeedup {
+		return fmt.Errorf("parallel generate speedup %.2fx below the %.2fx floor on a %d-CPU host",
+			rep.SpeedupGenerate, minSpeedup, rep.NumCPU)
+	}
 	if baselinePath != "" {
 		resolved, err := resolveBaseline(baselinePath, rep)
 		if err != nil {
@@ -309,11 +358,11 @@ func resolveBaseline(path string, rep *BenchReport) (string, error) {
 }
 
 // checkBaseline fails when a timing regressed more than 2x against the
-// committed baseline, or when study peak heap grew past the same 2x bar
-// (the bounded-memory contract). Only the end-to-end phases gate:
-// per-figure timings are informational (too noisy at -small scale on
-// shared CI). Baselines predating the peak-heap field record zero and
-// skip the memory gate.
+// committed baseline, or when study peak heap or generator allocations
+// grew past the same 2x bar (the bounded-memory and slab-discipline
+// contracts). Only the end-to-end phases gate: per-figure timings are
+// informational (too noisy at -small scale on shared CI). Baselines
+// predating a gated field record zero and skip that gate.
 func checkBaseline(rep *BenchReport, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -336,6 +385,14 @@ func checkBaseline(rep *BenchReport, path string) error {
 	}
 	if err := check("study", rep.StudyParMs, base.StudyParMs); err != nil {
 		return err
+	}
+	// Generator allocations gate at the same 2x bar as peak heap: the §9
+	// slab discipline is a measured contract, not a one-off win.
+	if base.GenerateAllocBytes > 0 &&
+		float64(rep.GenerateAllocBytes) > float64(base.GenerateAllocBytes)*maxRegression {
+		return fmt.Errorf("generate allocations regressed %.1fx (%d bytes vs baseline %d, limit %.1fx)",
+			float64(rep.GenerateAllocBytes)/float64(base.GenerateAllocBytes),
+			rep.GenerateAllocBytes, base.GenerateAllocBytes, maxRegression)
 	}
 	if base.StudyPeakHeapBytes > 0 &&
 		float64(rep.StudyPeakHeapBytes) > float64(base.StudyPeakHeapBytes)*maxRegression {

@@ -8,7 +8,7 @@ package mobility
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"wearwild/internal/geo"
@@ -104,43 +104,42 @@ func New(topo *cells.Topology, cfg Config) (*Generator, error) {
 // user on a day. The itinerary is derived only from (user, day, stream),
 // so every device the user carries sees the same movement.
 func (g *Generator) DayVisits(u *population.User, d simtime.Day, r *randx.Rand) []Visit {
-	day := d.Time()
-	visit := func(minutes float64, pos geo.Point) Visit {
-		return Visit{
-			Time:   day.Add(time.Duration(minutes * float64(time.Minute))),
-			Sector: g.topo.Nearest(pos),
-			Pos:    pos,
-		}
-	}
+	return g.AppendDayVisits(nil, u, d, r)
+}
 
-	visits := []Visit{visit(5, u.Home)} // midnight-ish at home
+// AppendDayVisits is DayVisits writing past len(dst): the generator sweep
+// passes a per-worker slab reset each day, so itinerary generation costs no
+// allocation once the slab has grown to the user's busiest day. Only
+// dst[len(dst):] is sorted and deduplicated; earlier entries are untouched.
+func (g *Generator) AppendDayVisits(dst []Visit, u *population.User, d simtime.Day, r *randx.Rand) []Visit {
+	day := d.Time()
+	base := len(dst)
+	dst = append(dst, g.visitAt(day, 5, u.Home)) // midnight-ish at home
 
 	if !d.IsWeekend() && u.Employed {
 		// Morning commute, departures peaking 7–9 (Fig 3(a) bump).
 		leave := (6.5 + 2*r.Float64()) * 60
-		visits = append(visits, g.commuteLeg(u.Home, u.Work, leave, day, r)...)
+		dst = g.appendCommuteLeg(dst, u.Home, u.Work, leave, day, r)
 		// Optional midday errand near work.
 		if r.Bool(poissonAsProb(g.cfg.LeisureTripMeanWeekday * engagementScale(u))) {
-			visits = append(visits, g.trip(u, u.Work, (12+2*r.Float64())*60, day, r)...)
+			dst = g.appendTrip(dst, u, u.Work, (12+2*r.Float64())*60, day, r)
 		}
 		// Evening commute, 4–8pm window.
 		back := (16.5 + 2.5*r.Float64()) * 60
-		visits = append(visits, g.commuteLeg(u.Work, u.Home, back, day, r)...)
+		dst = g.appendCommuteLeg(dst, u.Work, u.Home, back, day, r)
 	} else if !d.IsWeekend() {
 		// Non-commuters: occasional daytime leisure trips from home.
 		trips := r.Poisson(g.cfg.LeisureTripMeanWeekday * 1.5 * engagementScale(u))
 		start := 9 * 60.0
 		for i := 0; i < trips && start < 20*60; i++ {
-			//wearlint:ignore allochot item-2 worklist: per-trip visit growth; reuse a visits slab reset per day
-			visits = append(visits, g.trip(u, u.Home, start, day, r)...)
+			dst = g.appendTrip(dst, u, u.Home, start, day, r)
 			start += (2 + 3*r.Float64()) * 60
 		}
 	} else {
 		trips := r.Poisson(g.cfg.LeisureTripMeanWeekend * engagementScale(u))
 		start := 10 * 60.0
 		for i := 0; i < trips && start < 20*60; i++ {
-			//wearlint:ignore allochot item-2 worklist: per-trip visit growth; reuse a visits slab reset per day
-			visits = append(visits, g.trip(u, u.Home, start, day, r)...)
+			dst = g.appendTrip(dst, u, u.Home, start, day, r)
 			start += (2 + 3*r.Float64()) * 60
 		}
 	}
@@ -150,19 +149,28 @@ func (g *Generator) DayVisits(u *population.User, d simtime.Day, r *randx.Rand) 
 	// movement scale.
 	if r.Bool(g.cfg.LongTripProb * math.Min(engagementScale(u), 2)) {
 		dist := r.Pareto(g.cfg.LongTripKmMin, g.cfg.LongTripAlpha)
-		visits = append(visits, g.excursion(u.Home, dist, (10+4*r.Float64())*60, day, r)...)
+		dst = g.appendExcursion(dst, u.Home, dist, (10+4*r.Float64())*60, day, r)
 	}
 
 	// Late-evening legs must not bleed into the next day: a visit carries
 	// its day's identity through every downstream per-day analysis.
 	lastInstant := day.Add(24*time.Hour - time.Second)
-	for i := range visits {
-		if visits[i].Time.After(lastInstant) {
-			visits[i].Time = lastInstant
+	for i := base; i < len(dst); i++ {
+		if dst[i].Time.After(lastInstant) {
+			dst[i].Time = lastInstant
 		}
 	}
 
-	return canonicalize(visits)
+	return canonicalizeTail(dst, base)
+}
+
+// visitAt places the user at a position a number of minutes into the day.
+func (g *Generator) visitAt(day time.Time, minutes float64, pos geo.Point) Visit {
+	return Visit{
+		Time:   day.Add(time.Duration(minutes * float64(time.Minute))),
+		Sector: g.topo.Nearest(pos),
+		Pos:    pos,
+	}
 }
 
 // engagementScale couples trip counts to the user's latent engagement,
@@ -181,33 +189,32 @@ func engagementScale(u *population.User) float64 {
 // poissonAsProb converts a small mean count to a Bernoulli probability.
 func poissonAsProb(mean float64) float64 { return 1 - math.Exp(-mean) }
 
-// commuteLeg emits the intermediate and final sectors of one commute leg
-// departing at the given minute of day.
-func (g *Generator) commuteLeg(from, to geo.Point, departMin float64, day time.Time, r *randx.Rand) []Visit {
+// appendCommuteLeg emits the intermediate and final sectors of one commute
+// leg departing at the given minute of day. The stop count is known before
+// the loop, so dst grows at most once.
+func (g *Generator) appendCommuteLeg(dst []Visit, from, to geo.Point, departMin float64, day time.Time, r *randx.Rand) []Visit {
 	dist := geo.DistanceKm(from, to)
 	stops := int(dist / 8)
 	if stops > g.cfg.MaxCommuteStops {
 		stops = g.cfg.MaxCommuteStops
 	}
 	legMinutes := 10 + dist // ~1 min/km plus overhead
-	var out []Visit
+	dst = slices.Grow(dst, stops+1)[:len(dst)]
 	for i := 1; i <= stops; i++ {
 		f := float64(i) / float64(stops+1)
 		p := interpolate(from, to, f)
 		p = geo.Offset(p, r.NormFloat64()*1.5, r.NormFloat64()*1.5) // off the straight line
-		//wearlint:ignore allochot item-2 worklist: per-stop leg growth; make(cap stops) — the count is known before the loop
-		out = append(out, Visit{
+		dst = append(dst, Visit{
 			Time:   day.Add(time.Duration((departMin + f*legMinutes) * float64(time.Minute))),
 			Sector: g.topo.Nearest(p),
 			Pos:    p,
 		})
 	}
-	out = append(out, Visit{
+	return append(dst, Visit{
 		Time:   day.Add(time.Duration((departMin + legMinutes) * float64(time.Minute))),
 		Sector: g.topo.Nearest(to),
 		Pos:    to,
 	})
-	return out
 }
 
 // interpolate walks fraction f of the way between two points.
@@ -218,38 +225,43 @@ func interpolate(a, b geo.Point, f float64) geo.Point {
 	}
 }
 
-// trip goes somewhere near the anchor and comes back.
-func (g *Generator) trip(u *population.User, anchor geo.Point, startMin float64, day time.Time, r *randx.Rand) []Visit {
+// appendTrip goes somewhere near the anchor and comes back.
+func (g *Generator) appendTrip(dst []Visit, u *population.User, anchor geo.Point, startMin float64, day time.Time, r *randx.Rand) []Visit {
 	dist := r.LogNormalMedian(g.cfg.TripKmMedian, g.cfg.TripKmSigma) * math.Max(u.MobilityScale, 0.3)
-	return g.excursion(anchor, dist, startMin, day, r)
+	return g.appendExcursion(dst, anchor, dist, startMin, day, r)
 }
 
-// excursion visits a point dist km away and returns to the anchor.
-func (g *Generator) excursion(anchor geo.Point, dist, startMin float64, day time.Time, r *randx.Rand) []Visit {
+// appendExcursion visits a point dist km away and returns to the anchor.
+func (g *Generator) appendExcursion(dst []Visit, anchor geo.Point, dist, startMin float64, day time.Time, r *randx.Rand) []Visit {
 	angle := r.Float64() * 2 * math.Pi
 	dest := geo.Offset(anchor, dist*math.Cos(angle), dist*math.Sin(angle))
 	stay := 30 + 90*r.Float64() // minutes
 	travel := 10 + dist
-	return []Visit{
-		{Time: day.Add(time.Duration((startMin + travel) * float64(time.Minute))), Sector: g.topo.Nearest(dest), Pos: dest},
-		{Time: day.Add(time.Duration((startMin + travel + stay) * float64(time.Minute))), Sector: g.topo.Nearest(anchor), Pos: anchor},
-	}
+	return append(dst,
+		Visit{Time: day.Add(time.Duration((startMin + travel) * float64(time.Minute))), Sector: g.topo.Nearest(dest), Pos: dest},
+		Visit{Time: day.Add(time.Duration((startMin + travel + stay) * float64(time.Minute))), Sector: g.topo.Nearest(anchor), Pos: anchor},
+	)
 }
 
-// canonicalize sorts visits chronologically and drops consecutive repeats
-// of the same sector.
-func canonicalize(v []Visit) []Visit {
-	if len(v) == 0 {
+// visitCmp orders visits chronologically; ties keep insertion order under a
+// stable sort, which downstream per-day analyses rely on.
+func visitCmp(a, b Visit) int { return a.Time.Compare(b.Time) }
+
+// canonicalizeTail sorts v[base:] chronologically in place and drops
+// consecutive repeats of the same sector, truncating v accordingly.
+func canonicalizeTail(v []Visit, base int) []Visit {
+	tail := v[base:]
+	if len(tail) == 0 {
 		return v
 	}
-	sort.SliceStable(v, func(i, j int) bool { return v[i].Time.Before(v[j].Time) })
-	out := v[:1]
-	for _, next := range v[1:] {
+	slices.SortStableFunc(tail, visitCmp)
+	out := tail[:1]
+	for _, next := range tail[1:] {
 		if next.Sector != out[len(out)-1].Sector {
 			out = append(out, next)
 		}
 	}
-	return out
+	return v[:base+len(out)]
 }
 
 // Records converts a day's visits into MME records for one device: the
@@ -258,13 +270,19 @@ func Records(u *population.User, dev imei.IMEI, visits []Visit) []mme.Record {
 	if len(visits) == 0 {
 		return nil
 	}
-	out := make([]mme.Record, 0, len(visits))
+	return AppendRecords(make([]mme.Record, 0, len(visits)), u, dev, visits)
+}
+
+// AppendRecords is Records appending into a caller slab; the visit count
+// bounds the growth to at most one reallocation.
+func AppendRecords(dst []mme.Record, u *population.User, dev imei.IMEI, visits []Visit) []mme.Record {
+	dst = slices.Grow(dst, len(visits))[:len(dst)]
 	for i, v := range visits {
 		ev := mme.Update
 		if i == 0 {
 			ev = mme.Attach
 		}
-		out = append(out, mme.Record{
+		dst = append(dst, mme.Record{
 			Time:   v.Time,
 			IMSI:   u.IMSI,
 			IMEI:   dev,
@@ -272,7 +290,7 @@ func Records(u *population.User, dev imei.IMEI, visits []Visit) []mme.Record {
 			Event:  ev,
 		})
 	}
-	return out
+	return dst
 }
 
 // MaxDisplacementKm returns the greatest pairwise distance between the

@@ -16,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"wearwild/internal/geo"
 	"wearwild/internal/mnet/cells"
@@ -24,6 +25,7 @@ import (
 	"wearwild/internal/mnet/proxylog"
 	"wearwild/internal/mnet/udr"
 	"wearwild/internal/randx"
+	"wearwild/internal/shard"
 	"wearwild/internal/simtime"
 
 	"wearwild/internal/gen/apps"
@@ -159,7 +161,11 @@ func generateSubstrate(cfg Config) (*Dataset, error) {
 	}, nil
 }
 
-// Generate builds the dataset.
+// Generate builds the dataset. The population is partitioned into fixed
+// splitmix64 IMSI shards (the same partition for any worker count), each
+// shard's subscribers are generated on a bounded pool over one reusable
+// scratch, and the per-shard runs merge back in ascending subscriber
+// order — so the dataset is byte-identical for any Workers setting.
 func Generate(cfg Config) (*Dataset, error) {
 	ds, err := generateSubstrate(cfg)
 	if err != nil {
@@ -169,13 +175,23 @@ func Generate(cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	results := make([]userOutput, len(ds.Population.Users))
-	parallelForChunked(len(ds.Population.Users), cfg.Workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			results[i] = gen.user(i)
-		}
+	users := make([]int, len(ds.Population.Users))
+	for i := range users {
+		users[i] = i
+	}
+	parts := shard.Partition(users, shard.DefaultShards, func(i int) uint64 {
+		return ds.Population.Users[i].IMSI.MSIN()
 	})
-	ds.merge(results)
+	runs := shard.Map(parts, cfg.Workers, func(_ int, part []int) []userOutput {
+		s := new(genScratch)
+		outs := make([]userOutput, len(part))
+		for k, ui := range part {
+			gen.genUser(ui, s)
+			outs[k] = s.output()
+		}
+		return outs
+	})
+	ds.mergeRuns(parts, runs, len(users))
 
 	ds.MME.SortByTime()
 	ds.Proxy.SortByTime()
@@ -183,13 +199,37 @@ func Generate(cfg Config) (*Dataset, error) {
 	return ds, nil
 }
 
-// userOutput collects one user's generated records; the parallel sweep
-// fills one slot per user and the merge appends them in user order, so the
-// dataset is identical for any worker count.
+// userOutput collects one user's generated records; the sharded sweep
+// fills one slot per subscriber and the merge concatenates them in
+// subscriber order, so the dataset is identical for any worker count.
 type userOutput struct {
 	mme   []mme.Record
 	proxy []proxylog.Record
 	udr   []udr.Record
+}
+
+// genScratch is one worker's reusable generation state: record slabs the
+// per-user sweep resets and refills (the retain slab grammar), the fixed
+// week-aggregate array that replaced the per-user pointer map, and the
+// traffic model's own buffers. One genScratch serves a whole shard; its
+// slabs grow to the busiest subscriber and stay there.
+type genScratch struct {
+	visits []mobility.Visit
+	day    []proxylog.Record
+	mme    []mme.Record
+	proxy  []proxylog.Record
+	udr    []udr.Record
+	weeks  [simtime.StudyWeeks]udr.Record
+	tr     traffic.Scratch
+}
+
+// output snapshots the slabs into exactly-sized slices a merge may retain.
+func (s *genScratch) output() userOutput {
+	return userOutput{
+		mme:   append(make([]mme.Record, 0, len(s.mme)), s.mme...),
+		proxy: append(make([]proxylog.Record, 0, len(s.proxy)), s.proxy...),
+		udr:   append(make([]udr.Record, 0, len(s.udr)), s.udr...),
+	}
 }
 
 // userGen derives any single subscriber's complete five-month output
@@ -230,28 +270,31 @@ func newUserGen(cfg Config, pop *population.Population, topo *cells.Topology,
 	}, nil
 }
 
-// user generates subscriber i's complete output: the wearable day sweep
-// for owners, weekly phone UDRs for everyone (Fig 4(a/b) compares
-// whole-user volumes), and the detail-window phone activity for ordinary
-// users (full MME itineraries for the mobility sample, and the sparse
-// proxy trickle that carries Through-Device companion traffic).
-func (g *userGen) user(i int) userOutput {
+// genUser generates subscriber i's complete output into s's slabs: the
+// wearable day sweep for owners, weekly phone UDRs for everyone
+// (Fig 4(a/b) compares whole-user volumes), and the detail-window phone
+// activity for ordinary users (full MME itineraries for the mobility
+// sample, and the sparse proxy trickle that carries Through-Device
+// companion traffic). Each record class is appended in a fixed order, so a
+// subscriber's slab contents are identical however the sweep is scheduled.
+func (g *userGen) genUser(i int, s *genScratch) {
+	s.mme = s.mme[:0]
+	s.proxy = s.proxy[:0]
+	s.udr = s.udr[:0]
 	u := g.pop.Users[i]
 	uid := uint64(i)
-	var out userOutput
 	if i < g.owners {
-		g.wearableDays(u, uid, &out)
+		g.wearableDays(u, uid, s)
 	}
-	g.phoneWeeks(u, uid, &out)
+	g.phoneWeeks(u, uid, s)
 	if j := i - g.owners; j >= 0 {
-		g.ordinaryDetail(u, uid, j < g.sample, &out)
+		g.ordinaryDetail(u, uid, j < g.sample, s)
 	}
-	return out
 }
 
 // wearableDays generates one owner's five-month wearable output.
-func (g *userGen) wearableDays(u *population.User, uid uint64, out *userOutput) {
-	weekBytes := map[simtime.Week]*udr.Record{}
+func (g *userGen) wearableDays(u *population.User, uid uint64, s *genScratch) {
+	s.weeks = [simtime.StudyWeeks]udr.Record{}
 
 	for d := simtime.Day(0); d < simtime.StudyDays; d++ {
 		if !u.WearableActiveOn(d) {
@@ -261,85 +304,101 @@ func (g *userGen) wearableDays(u *population.User, uid uint64, out *userOutput) 
 		if !rDay.Bool(u.RegProb) {
 			continue // wearable stayed off the cellular network today
 		}
-		visits := g.mob.DayVisits(u, d, rDay.Split("mob", 0))
-		if len(visits) == 0 {
+		s.visits = g.mob.AppendDayVisits(s.visits[:0], u, d, rDay.Split("mob", 0))
+		if len(s.visits) == 0 {
 			continue
 		}
 
 		// MME: full itinerary in the detail window, a single daily
 		// attach outside it (summary collection, §3.1).
 		if d.InDetailWindow() {
-			//wearlint:ignore allochot item-2 worklist: per-day MME growth; size out.mme once from the user's expected itinerary volume
-			out.mme = append(out.mme, mobility.Records(u, u.WearableIMEI, visits)...)
+			s.mme = mobility.AppendRecords(s.mme, u, u.WearableIMEI, s.visits)
 		} else {
-			//wearlint:ignore allochot item-2 worklist: one summary attach per day; preallocate out.mme at StudyDays
-			out.mme = append(out.mme, mobility.Records(u, u.WearableIMEI, visits[:1])[0])
+			s.mme = mobility.AppendRecords(s.mme, u, u.WearableIMEI, s.visits[:1])
 		}
 
-		recs := g.tgen.WearableDay(u, d, visits, rDay.Split("tx", 0))
-		if len(recs) == 0 {
+		s.day = s.day[:0]
+		s.day = g.tgen.AppendWearableDay(s.day, u, d, s.visits, rDay.Split("tx", 0), &s.tr)
+		if len(s.day) == 0 {
 			continue
 		}
-		w := d.Week()
-		agg := weekBytes[w]
-		if agg == nil {
-			//wearlint:ignore allochot item-2 worklist: one aggregate per touched week; replace the pointer map with a [StudyWeeks]udr.Record array
-			agg = &udr.Record{Week: w, IMSI: u.IMSI, IMEI: u.WearableIMEI}
-			weekBytes[w] = agg
+		agg := &s.weeks[d.Week()]
+		if agg.Transactions == 0 {
+			agg.Week, agg.IMSI, agg.IMEI = d.Week(), u.IMSI, u.WearableIMEI
 		}
-		for _, rec := range recs {
+		for _, rec := range s.day {
 			agg.Bytes += rec.Bytes()
 			agg.Transactions++
 		}
 		if d.InDetailWindow() {
-			//wearlint:ignore allochot item-2 worklist: detail-window proxy growth; preallocate from the day's record count
-			out.proxy = append(out.proxy, recs...)
+			s.proxy = append(s.proxy, s.day...)
 		}
 	}
 	for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
-		if agg := weekBytes[w]; agg != nil {
-			//wearlint:ignore allochot item-2 worklist: bounded by StudyWeeks; preallocate out.udr with make(cap)
-			out.udr = append(out.udr, *agg)
+		if s.weeks[w].Transactions > 0 {
+			s.udr = append(s.udr, s.weeks[w])
 		}
 	}
 }
 
 // phoneWeeks generates the weekly phone UDRs every subscriber carries.
-func (g *userGen) phoneWeeks(u *population.User, uid uint64, out *userOutput) {
+func (g *userGen) phoneWeeks(u *population.User, uid uint64, s *genScratch) {
+	s.udr = slices.Grow(s.udr, int(simtime.StudyWeeks))[:len(s.udr)]
 	for w := simtime.Week(0); w < simtime.StudyWeeks; w++ {
 		rec := g.tgen.PhoneWeek(u, w, g.root.Split("pweek", uid*1000+uint64(w)))
 		if rec.Bytes > 0 {
-			//wearlint:ignore allochot item-2 worklist: bounded by StudyWeeks; preallocate out.udr with make(cap)
-			out.udr = append(out.udr, rec)
+			s.udr = append(s.udr, rec)
 		}
 	}
 }
 
 // ordinaryDetail generates an ordinary user's detail-window phone
 // activity; sampled users get full MME sector itineraries.
-func (g *userGen) ordinaryDetail(u *population.User, uid uint64, sampled bool, out *userOutput) {
+func (g *userGen) ordinaryDetail(u *population.User, uid uint64, sampled bool, s *genScratch) {
 	detail := simtime.Detail()
 	for d := detail.Start; d < detail.End; d++ {
 		rDay := g.root.Split("oday", uid*100000+uint64(d))
 		// Mobility sample: full phone itineraries.
 		if sampled {
-			visits := g.mob.DayVisits(u, d, rDay.Split("mob", 0))
-			//wearlint:ignore allochot item-2 worklist: sampled-user itinerary growth; size out.mme from the visit count
-			out.mme = append(out.mme, mobility.Records(u, u.PhoneIMEI, visits)...)
+			s.visits = g.mob.AppendDayVisits(s.visits[:0], u, d, rDay.Split("mob", 0))
+			s.mme = mobility.AppendRecords(s.mme, u, u.PhoneIMEI, s.visits)
 		}
-		//wearlint:ignore allochot item-2 worklist: phone detail-day proxy growth; preallocate from the day's session count
-		out.proxy = append(out.proxy, g.tgen.PhoneProxyDay(u, d, rDay.Split("px", 0))...)
+		s.proxy = g.tgen.AppendPhoneProxyDay(s.proxy, u, d, rDay.Split("px", 0))
 	}
 }
 
-// merge appends per-user outputs in user order.
-func (ds *Dataset) merge(results []userOutput) {
-	for i := range results {
-		//wearlint:ignore allochot item-2 worklist: merge barrier; sum per-user lengths first and make(cap) each log once
-		ds.MME.Records = append(ds.MME.Records, results[i].mme...)
-		//wearlint:ignore allochot item-2 worklist: merge barrier; sum per-user lengths first and make(cap) each log once
-		ds.Proxy.Records = append(ds.Proxy.Records, results[i].proxy...)
-		//wearlint:ignore allochot item-2 worklist: merge barrier; sum per-user lengths first and make(cap) each log once
-		ds.UDR.Records = append(ds.UDR.Records, results[i].udr...)
+// mergeRuns reassembles the per-shard runs into the dataset logs in
+// ascending subscriber order — the order the sequential sweep used, which
+// the stable time sorts' tie-breaking depends on. Partition keeps input
+// order within each shard, so walking subscribers 0..n-1 and advancing a
+// cursor per shard replays exactly the sequential concatenation. Each log
+// is sized once from the summed run lengths.
+func (ds *Dataset) mergeRuns(parts [][]int, runs [][]userOutput, n int) {
+	var nm, np, nu int
+	for _, run := range runs {
+		for i := range run {
+			nm += len(run[i].mme)
+			np += len(run[i].proxy)
+			nu += len(run[i].udr)
+		}
+	}
+	ds.MME.Records = make([]mme.Record, 0, nm)
+	ds.Proxy.Records = make([]proxylog.Record, 0, np)
+	ds.UDR.Records = make([]udr.Record, 0, nu)
+
+	shardOf := make([]int32, n)
+	for si, part := range parts {
+		for _, ui := range part {
+			shardOf[ui] = int32(si)
+		}
+	}
+	cursor := make([]int, len(parts))
+	for u := 0; u < n; u++ {
+		si := shardOf[u]
+		out := &runs[si][cursor[si]]
+		cursor[si]++
+		ds.MME.Records = append(ds.MME.Records, out.mme...)
+		ds.Proxy.Records = append(ds.Proxy.Records, out.proxy...)
+		ds.UDR.Records = append(ds.UDR.Records, out.udr...)
 	}
 }

@@ -1,12 +1,16 @@
 package sim
 
 import (
-	"sort"
+	"slices"
 
 	"wearwild/internal/gen/apps"
 	"wearwild/internal/gen/population"
 	"wearwild/internal/mnet/cells"
 	"wearwild/internal/mnet/devicedb"
+	"wearwild/internal/mnet/mme"
+	"wearwild/internal/mnet/proxylog"
+	"wearwild/internal/mnet/udr"
+	"wearwild/internal/shard"
 	"wearwild/internal/stream"
 )
 
@@ -58,54 +62,93 @@ func NewStreamSource(cfg Config) (*StreamSource, error) {
 	}, nil
 }
 
-// Stream implements stream.Source. One user's output lives at a time;
-// peak memory is the largest single subscriber bundle, not the dataset.
+// Per-user canonical orders, matching the global dataset sorts restricted
+// to one subscriber: the global sorts are stable by Time (proxy, MME) and
+// keyed (week, imsi, imei) for UDR, so a user's subsequence of the sorted
+// whole log equals the stable per-user sort of their own records. The UDR
+// keys are unique within a user (one wearable and one phone aggregate per
+// week, distinct IMEIs), so an unstable sort suffices there.
+func proxyTimeCmp(a, b proxylog.Record) int { return a.Time.Compare(b.Time) }
+func mmeTimeCmp(a, b mme.Record) int        { return a.Time.Compare(b.Time) }
+func udrKeyCmp(a, b udr.Record) int {
+	if a.Week != b.Week {
+		if a.Week < b.Week {
+			return -1
+		}
+		return 1
+	}
+	if a.IMEI != b.IMEI {
+		if a.IMEI < b.IMEI {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// sortCanonical puts the scratch slabs into their per-user stream order.
+func (s *genScratch) sortCanonical() {
+	slices.SortStableFunc(s.proxy, proxyTimeCmp)
+	slices.SortStableFunc(s.mme, mmeTimeCmp)
+	slices.SortFunc(s.udr, udrKeyCmp)
+}
+
+// Stream implements stream.Source. Subscribers are generated in blocks of
+// a few per worker — each slot owns a long-lived scratch whose slabs are
+// sorted in place — and emitted sequentially in ascending IMSI order, so
+// the byte stream is identical for any Workers setting and peak memory is
+// one block of subscriber bundles, never the dataset. Workers <= 1 runs
+// the block body inline with no goroutines.
 func (s *StreamSource) Stream(sink stream.Sink) error {
-	for i := range s.gen.pop.Users {
-		out := s.gen.user(i)
-		imsi := s.gen.pop.Users[i].IMSI
-		if s.ConsumeUsers {
-			s.gen.pop.Users[i] = nil
+	n := len(s.gen.pop.Users)
+	workers := shard.Workers(s.cfg.Workers)
+	if workers > n {
+		workers = n
+	}
+	window := workers * 4
+	if window > n {
+		window = n
+	}
+	slots := make([]genScratch, window)
+
+	base := 0
+	fill := func(k int) {
+		sc := &slots[k]
+		s.gen.genUser(base+k, sc)
+		sc.sortCanonical()
+	}
+	for base < n {
+		count := window
+		if base+count > n {
+			count = n - base
 		}
-		// Per-user canonical orders, matching the global dataset sorts
-		// restricted to this subscriber: the global sorts are stable by
-		// Time (proxy, MME) and keyed (week, imsi, imei) for UDR, so a
-		// user's subsequence of the sorted whole log equals the stable
-		// per-user sort of their own records.
-		//wearlint:ignore allochot item-2 worklist: per-user sort closure; hoist a comparator over an indirection the loop rebinds
-		sort.SliceStable(out.proxy, func(a, b int) bool {
-			return out.proxy[a].Time.Before(out.proxy[b].Time)
-		})
-		//wearlint:ignore allochot item-2 worklist: per-user sort closure; hoist a comparator over an indirection the loop rebinds
-		sort.SliceStable(out.mme, func(a, b int) bool {
-			return out.mme[a].Time.Before(out.mme[b].Time)
-		})
-		//wearlint:ignore allochot item-2 worklist: per-user sort closure; hoist a comparator over an indirection the loop rebinds
-		sort.Slice(out.udr, func(a, b int) bool {
-			x, y := out.udr[a], out.udr[b]
-			if x.Week != y.Week {
-				return x.Week < y.Week
+		shard.Run(count, workers, fill)
+		for k := 0; k < count; k++ {
+			sc := &slots[k]
+			imsi := s.gen.pop.Users[base+k].IMSI
+			if s.ConsumeUsers {
+				s.gen.pop.Users[base+k] = nil
 			}
-			return x.IMEI < y.IMEI
-		})
-		for _, r := range out.proxy {
-			if err := sink.Proxy(r); err != nil {
+			for _, r := range sc.proxy {
+				if err := sink.Proxy(r); err != nil {
+					return err
+				}
+			}
+			for _, r := range sc.mme {
+				if err := sink.MME(r); err != nil {
+					return err
+				}
+			}
+			for _, r := range sc.udr {
+				if err := sink.UDR(r); err != nil {
+					return err
+				}
+			}
+			if err := sink.UserDone(imsi); err != nil {
 				return err
 			}
 		}
-		for _, r := range out.mme {
-			if err := sink.MME(r); err != nil {
-				return err
-			}
-		}
-		for _, r := range out.udr {
-			if err := sink.UDR(r); err != nil {
-				return err
-			}
-		}
-		if err := sink.UserDone(imsi); err != nil {
-			return err
-		}
+		base += count
 	}
 	return nil
 }

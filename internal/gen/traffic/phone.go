@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"math"
+	"slices"
 	"time"
 
 	"wearwild/internal/mnet/proxylog"
@@ -62,7 +63,13 @@ func AggregateWearableWeek(u *population.User, w simtime.Week, recs []proxylog.R
 // the full phone stream is represented by UDRs), plus the companion-app
 // bursts that make Through-Device wearables fingerprintable.
 func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Rand) []proxylog.Record {
-	var out []proxylog.Record
+	return g.AppendPhoneProxyDay(nil, u, d, r)
+}
+
+// AppendPhoneProxyDay is PhoneProxyDay appending past len(dst): the
+// sampled transaction count sizes the growth up front, and companion
+// bursts fold into the same slab.
+func (g *Generator) AppendPhoneProxyDay(dst []proxylog.Record, u *population.User, d simtime.Day, r *randx.Rand) []proxylog.Record {
 	day := d.Time()
 
 	// Generic sample: popular-app hosts as seen from handsets. Handset
@@ -70,6 +77,7 @@ func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Ra
 	// distribution is less sharply centred (the §4.3 comparison with
 	// smartphone studies); PhoneSizeSpread widens the lognormal.
 	n := r.Poisson(g.cfg.PhoneGenericPerDay * math.Min(u.Engagement, 3))
+	dst = slices.Grow(dst, n)[:len(dst)]
 	for i := 0; i < n; i++ {
 		app := g.catalog.Apps()[g.catalog.SampleApp(r)]
 		t := day.Add(diurnalOffset(phoneHourPick, r))
@@ -81,8 +89,7 @@ func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Ra
 		if rec.BytesUp+rec.BytesDown < 200 {
 			rec.BytesDown = 200
 		}
-		//wearlint:ignore allochot item-2 worklist: per-transaction growth; make(cap) from the day's sampled transaction count
-		out = append(out, rec)
+		dst = append(dst, rec)
 	}
 
 	// Companion sync traffic for fingerprintable Through-Device users.
@@ -98,8 +105,7 @@ func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Ra
 			for b := 0; b < burst; b++ {
 				bytes := r.LogNormalMedian(5200, 0.8)
 				up := int64(bytes * 0.35)
-				//wearlint:ignore allochot item-2 worklist: TD companion-burst growth; fold into the same preallocated day slice
-				out = append(out, proxylog.Record{
+				dst = append(dst, proxylog.Record{
 					Time:      t,
 					IMSI:      u.IMSI,
 					IMEI:      u.PhoneIMEI,
@@ -113,7 +119,7 @@ func (g *Generator) PhoneProxyDay(u *population.User, d simtime.Day, r *randx.Ra
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // diurnalOffset draws a time-of-day offset from an hourly weight profile.

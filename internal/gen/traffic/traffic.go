@@ -21,6 +21,7 @@ package traffic
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"wearwild/internal/mnet/cells"
@@ -191,6 +192,11 @@ func Profile(weekend bool, hourOfDay int) float64 {
 type Generator struct {
 	catalog *apps.Catalog
 	cfg     Config
+	// mixes caches one alias table per app for its domain-kind mix; the
+	// table is immutable, so all workers share it. Apps whose mix has no
+	// positive weight map to nil (their sessions emit nothing), matching
+	// the per-session NewCategorical error path this cache replaced.
+	mixes map[*apps.App]*randx.Categorical
 }
 
 // New returns a generator.
@@ -201,7 +207,27 @@ func New(catalog *apps.Catalog, cfg Config) (*Generator, error) {
 	if catalog == nil || catalog.Len() == 0 {
 		return nil, fmt.Errorf("traffic: empty catalogue")
 	}
-	return &Generator{catalog: catalog, cfg: cfg}, nil
+	mixes := make(map[*apps.App]*randx.Categorical, len(catalog.Apps()))
+	for _, app := range catalog.Apps() {
+		mix, err := randx.NewCategorical(app.Shape.Mix[:])
+		if err != nil {
+			mix = nil
+		}
+		mixes[app] = mix
+	}
+	return &Generator{catalog: catalog, cfg: cfg, mixes: mixes}, nil
+}
+
+// Scratch holds the per-worker buffers wearable-day generation reuses
+// across days. The zero value is ready; buffers grow to the busiest day
+// and stay there. A Scratch must not be shared between concurrent workers.
+type Scratch struct {
+	hours   []int
+	idx     []int
+	allowed []int
+	weights []float64
+	apps    []*apps.App
+	perm    []int
 }
 
 // Catalog returns the generator's catalogue.
@@ -222,12 +248,21 @@ func (g *Generator) activeDayProb(u *population.User, weekend bool) float64 {
 // transactions happen only while at the home sector. A nil result means an
 // inactive day.
 func (g *Generator) WearableDay(u *population.User, d simtime.Day, visits []mobility.Visit, r *randx.Rand) []proxylog.Record {
+	var s Scratch
+	return g.AppendWearableDay(nil, u, d, visits, r, &s)
+}
+
+// AppendWearableDay is WearableDay appending past len(dst) with per-worker
+// buffers: the generator sweep hands every day of a shard the same Scratch,
+// so a steady-state day allocates only when a session outgrows dst.
+func (g *Generator) AppendWearableDay(dst []proxylog.Record, u *population.User, d simtime.Day,
+	visits []mobility.Visit, r *randx.Rand, s *Scratch) []proxylog.Record {
 	if !u.DataActive() || !u.WearableActiveOn(d) {
-		return nil
+		return dst
 	}
 	weekend := d.IsWeekend()
 	if !r.Bool(g.activeDayProb(u, weekend)) {
-		return nil
+		return dst
 	}
 
 	// Active hours: lognormal around an engagement-scaled median.
@@ -240,34 +275,33 @@ func (g *Generator) WearableDay(u *population.User, d simtime.Day, visits []mobi
 		h = 18
 	}
 
-	hours := g.pickHours(u, d, visits, h, weekend, r)
+	hours := g.pickHours(u, d, visits, h, weekend, r, s)
 	if len(hours) == 0 {
-		return nil
+		return dst
 	}
 
-	appsToday := g.pickApps(u, r)
-	var out []proxylog.Record
+	appsToday := g.pickApps(u, r, s)
 	for _, hour := range hours {
 		sessions := r.Poisson(g.cfg.SessionsPerHour * math.Pow(u.Engagement, g.cfg.SessionsEngExp))
 		if sessions < 1 {
 			sessions = 1
 		}
-		for s := 0; s < sessions; s++ {
+		for sn := 0; sn < sessions; sn++ {
 			app := appsToday[r.IntN(len(appsToday))]
 			start := d.Time().
 				Add(time.Duration(hour) * time.Hour).
 				Add(time.Duration(r.IntN(3300)) * time.Second)
-			//wearlint:ignore allochot item-2 worklist: per-session wearable growth; make(cap) from the day's session budget
-			out = append(out, g.session(u, app, start, dayEnd(d), r)...)
+			dst = g.appendSession(dst, u, app, start, dayEnd(d), r)
 		}
 	}
-	return out
+	return dst
 }
 
 // pickHours selects distinct active hours of day, weighted by the diurnal
-// profile, restricted to at-home hours for single-location users.
-func (g *Generator) pickHours(u *population.User, d simtime.Day, visits []mobility.Visit, n int, weekend bool, r *randx.Rand) []int {
-	allowed := make([]int, 0, 24)
+// profile, restricted to at-home hours for single-location users. The
+// result lives in s and is valid until the next pickHours call.
+func (g *Generator) pickHours(u *population.User, d simtime.Day, visits []mobility.Visit, n int, weekend bool, r *randx.Rand, s *Scratch) []int {
+	allowed := s.allowed[:0]
 	if u.SingleLocOnly {
 		for hour := 0; hour < 24; hour++ {
 			if atHomeThrough(visits, d, hour, u) {
@@ -285,23 +319,33 @@ func (g *Generator) pickHours(u *population.User, d simtime.Day, visits []mobili
 			allowed = append(allowed, hour)
 		}
 	}
+	s.allowed = allowed
 	if n > len(allowed) {
 		n = len(allowed)
 	}
-	weights := make([]float64, len(allowed))
-	for i, hour := range allowed {
-		weights[i] = Profile(weekend, hour)
+	// The unrestricted case is the common one, and its weight vector is
+	// exactly the static profile — reuse the shared alias table (the table
+	// build is deterministic, so cached and per-day tables draw alike).
+	cat := wearerHourPick(weekend)
+	if len(allowed) < 24 {
+		weights := s.weights[:0]
+		for _, hour := range allowed {
+			weights = append(weights, Profile(weekend, hour))
+		}
+		s.weights = weights
+		c, err := randx.NewCategorical(weights)
+		if err != nil {
+			return nil
+		}
+		cat = c
 	}
-	cat, err := randx.NewCategorical(weights)
-	if err != nil {
-		return nil
+	s.idx = cat.SampleKInto(r, n, s.idx)
+	hours := s.hours[:0]
+	for _, j := range s.idx {
+		hours = append(hours, allowed[j])
 	}
-	idx := cat.SampleK(r, n)
-	out := make([]int, len(idx))
-	for i, j := range idx {
-		out[i] = allowed[j]
-	}
-	return out
+	s.hours = hours
+	return hours
 }
 
 // sectorAt returns the sector the user occupies at the start of the given
@@ -345,7 +389,7 @@ func atHomeThrough(visits []mobility.Visit, d simtime.Day, hourOfDay int, u *pop
 // popularity (Fig 5) already flows through the popularity-weighted install
 // sets, and uniform daily rotation lets the number of apps observed over
 // the study approach the installed count the paper reports (§4.3).
-func (g *Generator) pickApps(u *population.User, r *randx.Rand) []*apps.App {
+func (g *Generator) pickApps(u *population.User, r *randx.Rand, s *Scratch) []*apps.App {
 	n := 1
 	if r.Bool(g.cfg.MultiAppDayProb) {
 		n = 2 + r.IntN(2)
@@ -353,11 +397,12 @@ func (g *Generator) pickApps(u *population.User, r *randx.Rand) []*apps.App {
 	if n > len(u.InstalledApps) {
 		n = len(u.InstalledApps)
 	}
-	picked := r.Perm(len(u.InstalledApps))[:n]
-	out := make([]*apps.App, n)
-	for i, j := range picked {
-		out[i] = g.catalog.Apps()[u.InstalledApps[j]]
+	s.perm = r.PermInto(s.perm, len(u.InstalledApps))
+	out := s.apps[:0]
+	for _, j := range s.perm[:n] {
+		out = append(out, g.catalog.Apps()[u.InstalledApps[j]])
 	}
+	s.apps = out
 	return out
 }
 
@@ -368,18 +413,20 @@ func dayEnd(d simtime.Day) time.Time {
 	return d.Time().Add(24*time.Hour - time.Second)
 }
 
-// session emits the transactions of one usage: bursts less than a minute
-// apart, so the analysis-side sessioniser (gap ≥ 1 min) recovers them.
-func (g *Generator) session(u *population.User, app *apps.App, start, latest time.Time, r *randx.Rand) []proxylog.Record {
+// appendSession emits the transactions of one usage: bursts less than a
+// minute apart, so the analysis-side sessioniser (gap ≥ 1 min) recovers
+// them. The transaction count is drawn before the mix lookup so the stream
+// advances identically whether or not the app's mix is degenerate.
+func (g *Generator) appendSession(dst []proxylog.Record, u *population.User, app *apps.App, start, latest time.Time, r *randx.Rand) []proxylog.Record {
 	n := r.Poisson(app.Shape.TxPerUsage)
 	if n < 1 {
 		n = 1
 	}
-	mix, err := randx.NewCategorical(app.Shape.Mix[:])
-	if err != nil {
-		return nil
+	mix := g.mixes[app]
+	if mix == nil {
+		return dst
 	}
-	out := make([]proxylog.Record, 0, n)
+	dst = slices.Grow(dst, n)[:len(dst)]
 	t := start
 	for i := 0; i < n; i++ {
 		if t.After(latest) {
@@ -389,13 +436,12 @@ func (g *Generator) session(u *population.User, app *apps.App, start, latest tim
 		if i > 0 { // the first transaction anchors on the app's own server
 			kind = apps.DomainKind(mix.Sample(r))
 		}
-		rec := g.transaction(u, app, kind, t, r)
-		out = append(out, rec)
+		dst = append(dst, g.transaction(u, app, kind, t, r))
 		// Intra-session gap: 5–45 s keeps the burst under the 1-minute
 		// sessionisation threshold.
 		t = t.Add(time.Duration(5+r.IntN(41)) * time.Second)
 	}
-	return out
+	return dst
 }
 
 // transaction builds one proxy record.

@@ -1,6 +1,9 @@
 package randx
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Categorical samples indices in proportion to a fixed weight vector in
 // O(1) per draw using Vose's alias method. Building the table is O(n).
@@ -127,4 +130,44 @@ func (c *Categorical) SampleK(r *Rand, k int) []int {
 		}
 	}
 	return out
+}
+
+// SampleKInto is SampleK writing into a caller-reused slab: the draw
+// sequence is identical (duplicate detection never touches the stream), but
+// the per-call result slice and dedup map are replaced by dst's backing
+// array and a linear scan — k is small wherever this is hot.
+func (c *Categorical) SampleKInto(r *Rand, k int, dst []int) []int {
+	n := len(c.prob)
+	if k >= n {
+		dst = slices.Grow(dst[:0], n)[:n]
+		for i := range dst {
+			dst[i] = i
+		}
+		return dst
+	}
+	out := dst[:0]
+	attempts := 0
+	for len(out) < k && attempts < 12*k {
+		i := c.Sample(r)
+		attempts++
+		if containsIndex(out, i) {
+			continue
+		}
+		out = append(out, i)
+	}
+	for i := 0; len(out) < k && i < n; i++ {
+		if !containsIndex(out, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func containsIndex(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

@@ -129,3 +129,30 @@ func TestCategoricalProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSampleKIntoMatchesSampleK pins the draw-for-draw equivalence that
+// lets hot paths swap SampleK for the slab variant: identical indices and
+// an identical post-call stream state for every (n, k) shape, including the
+// rejection-loop and reservoir-fallback regimes.
+func TestSampleKIntoMatchesSampleK(t *testing.T) {
+	weights := []float64{5, 1, 0.5, 3, 2, 0.1, 4, 1, 1, 2, 0.3, 6}
+	c := MustCategorical(weights)
+	var slab []int
+	for k := 0; k <= len(weights)+2; k++ {
+		a := New(99).Split("samplek", uint64(k))
+		b := New(99).Split("samplek", uint64(k))
+		want := c.SampleK(a, k)
+		slab = c.SampleKInto(b, k, slab)
+		if len(want) != len(slab) {
+			t.Fatalf("k=%d: lengths differ: %d vs %d", k, len(want), len(slab))
+		}
+		for i := range want {
+			if want[i] != slab[i] {
+				t.Fatalf("k=%d: index %d differs: %d vs %d", k, i, want[i], slab[i])
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("k=%d: stream state diverged after sampling", k)
+		}
+	}
+}

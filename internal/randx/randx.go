@@ -12,6 +12,7 @@ package randx
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 )
 
 // Rand is a deterministic random stream. It wraps a PCG generator from
@@ -152,6 +153,19 @@ func (r *Rand) Geometric(p float64) int {
 
 // Perm returns a random permutation of [0, n).
 func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// PermInto fills dst with a random permutation of [0, n), reusing dst's
+// backing array when it has capacity. The draw sequence is identical to
+// Perm's (an identity fill followed by a Fisher–Yates shuffle), so the two
+// are interchangeable without perturbing the stream.
+func (r *Rand) PermInto(dst []int, n int) []int {
+	dst = slices.Grow(dst[:0], n)[:n]
+	for i := range dst {
+		dst[i] = i
+	}
+	r.src.Shuffle(n, func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+	return dst
+}
 
 // Shuffle randomises the order of n elements via the supplied swap.
 func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }

@@ -207,3 +207,26 @@ func median(v []float64) float64 {
 	sort.Float64s(s)
 	return s[len(s)/2]
 }
+
+// TestPermIntoMatchesPerm pins PermInto's contract: same permutation and
+// same post-call stream state as Perm, with the slab reused across calls.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	var slab []int
+	for n := 0; n < 40; n++ {
+		a := New(7).Split("perm", uint64(n))
+		b := New(7).Split("perm", uint64(n))
+		want := a.Perm(n)
+		slab = b.PermInto(slab, n)
+		if len(want) != len(slab) {
+			t.Fatalf("n=%d: lengths differ: %d vs %d", n, len(want), len(slab))
+		}
+		for i := range want {
+			if want[i] != slab[i] {
+				t.Fatalf("n=%d: element %d differs: %d vs %d", n, i, want[i], slab[i])
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: stream state diverged after permuting", n)
+		}
+	}
+}
