@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-json lint-only lint-fixtures fuzz-smoke bench-smoke check
+.PHONY: build test race lint lint-json lint-only lint-fixtures lint-suppressions fuzz-smoke bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,18 @@ lint-only:
 lint-fixtures:
 	$(GO) test ./internal/analysis -run 'TestGolden|TestLoadTree'
 
+# Regenerate the committed //wearlint:ignore inventory. CI (and
+# TestSuppressionInventory) diff a fresh scan against the committed file,
+# so every new suppression — or silently edited justification — lands as
+# a reviewed change to LINT_SUPPRESSIONS.json, run this after adding one.
+lint-suppressions:
+	$(GO) run ./cmd/wearlint -suppressions > LINT_SUPPRESSIONS.json
+
 # Run the native fuzz targets over their seed corpus only (no mutation):
 # the mme/proxylog codec fuzzers, the collection-path parsers (httplog
 # FuzzReadHead, sni FuzzReadClientHello), the wearlint suppression
-# directive parser (FuzzIgnoreDirective), and the randx Split derivation
-# (FuzzSplitLabel).
+# grammar (FuzzIgnoreDirective, FuzzSuppressionInventory), and the randx
+# Split derivation (FuzzSplitLabel).
 fuzz-smoke:
 	$(GO) test -run='^Fuzz' ./internal/mnet/... ./internal/analysis ./internal/randx
 

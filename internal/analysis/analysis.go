@@ -91,6 +91,12 @@ func (mp *ModulePass) NetConn() *types.Interface {
 	return mp.Mod.importer().netConn()
 }
 
+// NetListener returns the net.Listener interface type, or nil when the
+// net package cannot be loaded.
+func (mp *ModulePass) NetListener() *types.Interface {
+	return mp.Mod.importer().netListener()
+}
+
 // Pass hands one lint unit (a package, with its in-package test files) to
 // an analyzer.
 type Pass struct {
@@ -153,8 +159,11 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 // DefaultAnalyzers returns every check, in stable order: the six
 // intraprocedural tripwires, then the twelve call-graph / dataflow
 // checks (growbound through mergeable are the memory-discipline layer;
-// the last three are the generator-discipline layer built on the
-// escape/alias summaries).
+// randsplit through sinkretain are the generator-discipline layer built
+// on the escape/alias summaries), then the concurrency-safety four
+// (ctxflow, atomicmix, chanbound, tickstop) that pin the load-tested
+// collection tier's cancellation, snapshot, queue-bound and
+// timer-lifecycle invariants.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer,
@@ -175,6 +184,10 @@ func DefaultAnalyzers() []*Analyzer {
 		RandsplitAnalyzer,
 		AllochotAnalyzer,
 		SinkretainAnalyzer,
+		CtxflowAnalyzer,
+		AtomicmixAnalyzer,
+		ChanboundAnalyzer,
+		TickstopAnalyzer,
 	}
 }
 
@@ -244,14 +257,20 @@ func (m *Module) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
 
 // overlapPriority maps a general check to the more specific checks that
 // outrank it when both flag the same site: closecheck beats errdrop
-// (both flag one dropped Close/Flush error at one call), and
+// (both flag one dropped Close/Flush error at one call),
 // retain/growbound beat allochot (a slab-retention or unbounded-growth
-// finding subsumes the generic per-iteration allocation complaint). The
-// overlap key is the line, not the column — the specific checks anchor
-// on the offending argument while allochot anchors on the statement.
+// finding subsumes the generic per-iteration allocation complaint),
+// deadline beats ctxflow on a shared conn-I/O line (its every-caller-path
+// analysis is the sharper verdict on the same park), and tickstop beats
+// walltime on a per-iteration time.Tick/time.After (the lifecycle leak
+// subsumes the wall-clock complaint). The overlap key is the line, not
+// the column — the specific checks anchor on the offending argument
+// while the general ones anchor on the statement.
 var overlapPriority = map[string][]string{
 	"errdrop":  {"closecheck"},
 	"allochot": {"retain", "growbound"},
+	"ctxflow":  {"deadline"},
+	"walltime": {"tickstop"},
 }
 
 // dedupeOverlaps drops a general check's diagnostic when a more

@@ -780,6 +780,10 @@ func TestWriteJSONMemoryChecks(t *testing.T) {
 		{"randsplit", "internal", RandsplitAnalyzer},
 		{"allochot", "internal", AllochotAnalyzer},
 		{"sinkretain", "internal", SinkretainAnalyzer},
+		{"ctxflow", "internal/mnet", CtxflowAnalyzer},
+		{"atomicmix", "internal", AtomicmixAnalyzer},
+		{"chanbound", "internal/mnet", ChanboundAnalyzer},
+		{"tickstop", "internal", TickstopAnalyzer},
 	} {
 		var bufs [2]bytes.Buffer
 		for i := range bufs {
@@ -994,5 +998,182 @@ func TestGoldenAllocOverlapDedupe(t *testing.T) {
 		if d.Check != "allochot" {
 			t.Errorf("solo run produced %q, want allochot: %s", d.Check, d)
 		}
+	}
+}
+
+// TestLoadTreeCtxflow pins the cancellation check over the seeded tree:
+// the plain receive, plain send, bare select, channel range, ungated
+// accept loop and unguarded conn read all flag inside their spawned
+// bodies; the named spawn into sink.Drain carries the spawn chain; and
+// every discipline — done receive, buffered handoff, semaphore token,
+// joined worker, shutdown select, gated accept, spawner-armed deadline
+// (local and through the chain) and the dynamic spawn — stays silent.
+func TestLoadTreeCtxflow(t *testing.T) {
+	diags := checkTree(t, "ctxflow", "internal/mnet", CtxflowAnalyzer)
+
+	var chained, accept *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/sink/") {
+			chained = d
+		}
+		if strings.Contains(d.Message, "accept loop is not cancellable") {
+			accept = d
+		}
+		if !strings.Contains(d.Message, "on goroutine path") {
+			t.Errorf("ctxflow message lacks the spawn-path rendering: %q", d.Message)
+		}
+		if !strings.Contains(d.Message, "DESIGN.md §5") {
+			t.Errorf("ctxflow message lacks the catalog pointer: %q", d.Message)
+		}
+		if len(d.Path) == 0 {
+			t.Errorf("ctxflow finding must carry the spawn step for chain-aware suppression: %s", d)
+		}
+	}
+	if chained == nil {
+		t.Fatalf("no diagnostic for the spawned helper sink.Drain; got %v", diags)
+	}
+	if !strings.Contains(chained.Message, "netproxy.SpawnWorker → internal/mnet/sink.Drain") {
+		t.Errorf("helper finding must render the spawn chain: %q", chained.Message)
+	}
+	if accept == nil {
+		t.Fatalf("no diagnostic for the ungated accept loop; got %v", diags)
+	}
+	if !strings.Contains(accept.Message, "done/stop signal") {
+		t.Errorf("accept finding must name the missing gate: %q", accept.Message)
+	}
+}
+
+// TestLoadTreeCtxflowClean runs the check over the all-disciplined pool,
+// gated accept, guarded relay and buffered dial: zero findings.
+func TestLoadTreeCtxflowClean(t *testing.T) {
+	if _, diags := runTree(t, "ctxflowclean", "internal/mnet", CtxflowAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeAtomicmix pins the mixed-access check: both plain reads in
+// the snapshot, the plain reset write, and the cross-package plain read
+// of the hot counter all flag with the arming atomic site named; the
+// mutex-guarded and uniformly atomic paths stay silent.
+func TestLoadTreeAtomicmix(t *testing.T) {
+	diags := checkTree(t, "atomicmix", "internal", AtomicmixAnalyzer)
+
+	var crossPkg, written *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/report/") {
+			crossPkg = d
+		}
+		if strings.Contains(d.Message, "written plainly") {
+			written = d
+		}
+		if !strings.Contains(d.Message, "accessed via atomic.") {
+			t.Errorf("atomicmix message must cite the arming atomic site: %q", d.Message)
+		}
+		if !strings.Contains(d.Message, "counters.go:") {
+			t.Errorf("atomicmix message must position the atomic site: %q", d.Message)
+		}
+	}
+	if crossPkg == nil {
+		t.Fatalf("no diagnostic for the cross-package plain read of Ops; got %v", diags)
+	}
+	if written == nil {
+		t.Fatalf("no diagnostic distinguishes the plain write in Reset; got %v", diags)
+	}
+}
+
+// TestLoadTreeAtomicmixClean runs the check over typed wrappers, uniform
+// old-API access and the locked-snapshot hybrid: zero findings.
+func TestLoadTreeAtomicmixClean(t *testing.T) {
+	if _, diags := runTree(t, "atomicmixclean", "internal", AtomicmixAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeChanbound pins the bounded-send check: the accept-loop
+// push, the record-loop push, the buffered-but-undropped push and the
+// nested-literal push all flag in the root package without a chain; the
+// sink helper carries its chain from netproxy.Collect; and the
+// select-default, shutdown-case, owned-pipeline and non-loop sends stay
+// silent.
+func TestLoadTreeChanbound(t *testing.T) {
+	diags := checkTree(t, "chanbound", "internal/mnet", ChanboundAnalyzer)
+
+	var chained, accept *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/sink/") {
+			chained = d
+		}
+		if strings.Contains(d.Message, "accept hot loop") {
+			accept = d
+		}
+		if !strings.Contains(d.Message, "default drop path") {
+			t.Errorf("chanbound message lacks the remediation menu: %q", d.Message)
+		}
+	}
+	if chained == nil {
+		t.Fatalf("no diagnostic for the sink helper; got %v", diags)
+	}
+	if !strings.Contains(chained.Message, "reached via internal/mnet/netproxy.Collect") {
+		t.Errorf("helper finding must render the chain from the root: %q", chained.Message)
+	}
+	if len(chained.Path) == 0 {
+		t.Errorf("helper finding must carry Path steps for chain-aware suppression, got none")
+	}
+	if accept == nil {
+		t.Fatalf("no diagnostic names the accept hot loop; got %v", diags)
+	}
+	if strings.Contains(accept.Message, "reached via") {
+		t.Errorf("root-package finding must not render a chain: %q", accept.Message)
+	}
+}
+
+// TestLoadTreeChanboundClean runs the check over the three bounding
+// disciplines and a non-loop send: zero findings.
+func TestLoadTreeChanboundClean(t *testing.T) {
+	if _, diags := runTree(t, "chanboundclean", "internal/mnet", ChanboundAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
+	}
+}
+
+// TestLoadTreeTickstop pins the timer-lifecycle check: the never-stopped
+// ticker, the early return that escapes a plain Stop, the per-iteration
+// time.After/time.Tick and the unstopped closure-local ticker all flag;
+// defer-Stop in both spellings, every handoff class, AfterFunc and the
+// time.Time.After method stay silent.
+func TestLoadTreeTickstop(t *testing.T) {
+	diags := checkTree(t, "tickstop", "internal", TickstopAnalyzer)
+
+	var never, escape *Diagnostic
+	for i := range diags {
+		d := &diags[i]
+		if strings.Contains(d.Message, "never stopped") {
+			never = d
+		}
+		if strings.Contains(d.Message, "leaks on this return path") {
+			escape = d
+		}
+		if !strings.Contains(d.Message, "DESIGN.md §5") {
+			t.Errorf("tickstop message lacks the catalog pointer: %q", d.Message)
+		}
+	}
+	if never == nil {
+		t.Fatalf("no diagnostic for the never-stopped ticker; got %v", diags)
+	}
+	if !strings.Contains(never.Message, "defer t.Stop()") {
+		t.Errorf("never-stopped finding must name the defer remediation: %q", never.Message)
+	}
+	if escape == nil {
+		t.Fatalf("no diagnostic for the return escaping the plain Stop; got %v", diags)
+	}
+}
+
+// TestLoadTreeTickstopClean runs the check over every sanctioned
+// lifecycle: zero findings.
+func TestLoadTreeTickstopClean(t *testing.T) {
+	if _, diags := runTree(t, "tickstopclean", "internal", TickstopAnalyzer); len(diags) != 0 {
+		t.Errorf("clean tree flagged: %v", diags)
 	}
 }

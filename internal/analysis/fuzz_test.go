@@ -9,23 +9,24 @@ import (
 )
 
 // fuzzDirectiveOracle is an independent spelling of the suppression
-// grammar collectIgnores implements: text is a directive iff it starts
-// with the ignore prefix ending at a word boundary; a directive with
-// fewer than two fields (check + reason) is malformed; otherwise the
-// first field is the suppressed check.
-func fuzzDirectiveOracle(text string) (check string, malformed, directive bool) {
+// grammar collectIgnores and Module.Suppressions implement: text is a
+// directive iff it starts with the ignore prefix ending at a word
+// boundary; a directive with fewer than two fields (check + reason) is
+// malformed; otherwise the first field is the suppressed check and the
+// rest, whitespace-normalised, is the reason.
+func fuzzDirectiveOracle(text string) (check, reason string, malformed, directive bool) {
 	rest, ok := strings.CutPrefix(text, ignorePrefix)
 	if !ok {
-		return "", false, false
+		return "", "", false, false
 	}
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return "", false, false
+		return "", "", false, false
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 2 {
-		return "", true, true
+		return "", "", true, true
 	}
-	return fields[0], false, true
+	return fields[0], strings.Join(fields[1:], " "), false, true
 }
 
 // FuzzIgnoreDirective drives the suppression-comment parser with
@@ -71,7 +72,7 @@ func FuzzIgnoreDirective(f *testing.F) {
 		var malformed []Diagnostic
 		collectIgnores(fset, []*ast.File{file}, &malformed, ix)
 
-		wantCheck, wantMal, wantDir := fuzzDirectiveOracle(text)
+		wantCheck, _, wantMal, wantDir := fuzzDirectiveOracle(text)
 		got := ix[ignoreKey{file: "fuzz.go", line: 3}]
 		if len(ix) > 0 && len(got) == 0 {
 			t.Fatalf("directive indexed at the wrong key: %v", ix)

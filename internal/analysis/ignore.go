@@ -39,6 +39,30 @@ func (m *Module) ignoreIndex(diags *[]Diagnostic) ignoreIndex {
 	return m.ign
 }
 
+// parseIgnoreDirective is the single grammar for suppression comments,
+// shared by the filtering index and the inventory (and fuzzed as one
+// surface). directive reports whether the text is an ignore directive at
+// all; malformed reports a directive missing its check name or reason.
+// For a well-formed directive, check is the first field and reason is
+// the rest with interior whitespace normalised to single spaces.
+func parseIgnoreDirective(text string) (check, reason string, directive, malformed bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", "", false, false
+	}
+	// The prefix must end at a word boundary: //wearlint:ignoreXYZ
+	// is not a directive (and must not silently parse as one), but
+	// a bare //wearlint:ignore still reports as malformed below.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", true, true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true, false
+}
+
 // collectIgnores scans a unit's comments for suppression directives into
 // ix. Malformed directives (missing check name or reason) are themselves
 // reported under the "ignore" pseudo-check, which cannot be suppressed.
@@ -46,19 +70,12 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic,
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-				if !ok {
-					continue
-				}
-				// The prefix must end at a word boundary: //wearlint:ignoreXYZ
-				// is not a directive (and must not silently parse as one), but
-				// a bare //wearlint:ignore still reports as malformed below.
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				check, _, directive, malformed := parseIgnoreDirective(c.Text)
+				if !directive {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				if malformed {
 					*diags = append(*diags, Diagnostic{
 						Check:   "ignore",
 						Pos:     pos,
@@ -67,7 +84,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic,
 					continue
 				}
 				key := ignoreKey{file: pos.Filename, line: pos.Line}
-				ix[key] = append(ix[key], fields[0])
+				ix[key] = append(ix[key], check)
 			}
 		}
 	}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Suppression is one well-formed //wearlint:ignore directive: the check
+// it silences, where it sits, and the justification its author wrote.
+// The inventory of these is the module's machine-checked suppression
+// worklist — CI pins the committed LINT_SUPPRESSIONS.json against a
+// fresh scan, so a new suppression (or a silently edited justification)
+// is a reviewed diff, never an invisible drift.
+type Suppression struct {
+	Check  string `json:"check"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+}
+
+// Suppressions scans every unit's comments for well-formed suppression
+// directives and returns them sorted by (file, line, check). File paths
+// are module-relative with forward slashes — the same normalisation the
+// diagnostic emitter uses — so the inventory is byte-stable across
+// checkouts. Malformed directives are not inventoried: they are
+// diagnostics (the unsuppressable "ignore" pseudo-check), not
+// suppressions. Only parsed comments are consulted, so the scan needs
+// no type-checking.
+func (m *Module) Suppressions() []Suppression {
+	var out []Suppression
+	for _, u := range m.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					check, reason, directive, malformed := parseIgnoreDirective(c.Text)
+					if !directive || malformed {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					out = append(out, Suppression{
+						Check:  check,
+						File:   relSlash(m.Root, pos.Filename),
+						Line:   pos.Line,
+						Reason: reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// WriteSuppressionsJSON emits the inventory as indented JSON with a
+// fixed field order and a trailing newline: byte-stable for the CI diff
+// gate. An empty inventory is an empty array, not null.
+func WriteSuppressionsJSON(w io.Writer, sups []Suppression) error {
+	if sups == nil {
+		sups = []Suppression{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sups)
+}

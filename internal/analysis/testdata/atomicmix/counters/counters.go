@@ -1,0 +1,61 @@
+// Package counters is the atomicmix fixture: old-API sync/atomic
+// counters whose hot path is atomic while a snapshot path reads or
+// writes them plainly — the torn-read shape the check exists for —
+// alongside the mutex-guarded hybrid it must accept.
+package counters
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ops is the cross-package counter: the hot path below arms it, and the
+// report package reads it plainly.
+var Ops uint64
+
+// Stats is the counter block with a mixed snapshot.
+type Stats struct {
+	hits   uint64
+	misses uint64
+	total  uint64
+
+	mu   sync.Mutex
+	slow uint64
+}
+
+// Record is the hot path: every tracked field is touched atomically.
+func (s *Stats) Record(hit bool) {
+	atomic.AddUint64(&Ops, 1)
+	atomic.AddUint64(&s.total, 1)
+	if hit {
+		atomic.AddUint64(&s.hits, 1)
+	} else {
+		atomic.AddUint64(&s.misses, 1)
+	}
+	s.mu.Lock()
+	s.slow++
+	s.mu.Unlock()
+}
+
+// Snapshot mixes plain reads into atomically-written fields: both reads
+// can tear against a concurrent Record.
+func (s *Stats) Snapshot() (uint64, uint64) {
+	return s.hits, s.misses // want atomicmix atomicmix
+}
+
+// Reset writes a tracked field plainly: the write half of the mix.
+func (s *Stats) Reset() {
+	s.total = 0 // want atomicmix
+}
+
+// LockedTotal reads under the mutex: the sanctioned hybrid.
+func (s *Stats) LockedTotal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// AtomicTotal loads atomically: uniform access.
+func (s *Stats) AtomicTotal() uint64 {
+	return atomic.LoadUint64(&s.total)
+}

@@ -1,0 +1,11 @@
+// Package report reads the counters package's hot counter plainly: the
+// module-wide walk unifies the field across units, so the mix is caught
+// even one package away from the atomic site.
+package report
+
+import "wearwild/internal/counters"
+
+// Total snapshots the hot counter without the atomic load.
+func Total() uint64 {
+	return counters.Ops // want atomicmix
+}

@@ -1,0 +1,46 @@
+// Package counters is the all-clean atomicmix fixture: typed wrappers,
+// uniform old-API access, and a fully mutex-guarded snapshot. Zero
+// findings.
+package counters
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Typed uses the wrappers that make mixed access inexpressible.
+type Typed struct {
+	n atomic.Uint64
+}
+
+// Inc bumps the typed counter.
+func (t *Typed) Inc() { t.n.Add(1) }
+
+// Get loads the typed counter.
+func (t *Typed) Get() uint64 { return t.n.Load() }
+
+// ops is accessed atomically on every path.
+var ops uint64
+
+// Inc bumps the package counter atomically.
+func Inc() { atomic.AddUint64(&ops, 1) }
+
+// Get loads the package counter atomically.
+func Get() uint64 { return atomic.LoadUint64(&ops) }
+
+// Mixed pairs an atomic hot path with a locked snapshot: the sanctioned
+// hybrid shape.
+type Mixed struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Inc bumps on the hot path.
+func (m *Mixed) Inc() { atomic.AddUint64(&m.n, 1) }
+
+// Snapshot reads under the mutex.
+func (m *Mixed) Snapshot() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}

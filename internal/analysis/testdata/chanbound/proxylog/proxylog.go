@@ -1,0 +1,10 @@
+// Package proxylog owns the fixture Record type the hot-loop detector
+// keys on; it mounts under internal/mnet so the type matcher unifies it
+// with the real codec's records.
+package proxylog
+
+// Record is one proxy log row.
+type Record struct {
+	Host  string
+	Bytes int64
+}

@@ -1,0 +1,8 @@
+// Package proxylog owns the clean-tree Record type.
+package proxylog
+
+// Record is one proxy log row.
+type Record struct {
+	Host  string
+	Bytes int64
+}

@@ -1,0 +1,49 @@
+// Package pacer is the all-clean tickstop fixture: defer-Stop in both
+// spellings, every handoff class, and the method/function distinction.
+// Zero findings.
+package pacer
+
+import "time"
+
+// Paced drains work under a defer-stopped ticker.
+func Paced(work chan int) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for range work {
+		<-t.C
+	}
+}
+
+// DeferClosureStop stops inside a deferred literal.
+func DeferClosureStop() {
+	t := time.NewTicker(time.Second)
+	defer func() {
+		t.Stop()
+	}()
+	<-t.C
+}
+
+// Handoff returns the ticker to its owner.
+func Handoff() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+// Wait uses a plain Stop with no exit in the window.
+func Wait() {
+	t := time.NewTimer(time.Second)
+	<-t.C
+	t.Stop()
+}
+
+// CountRecent uses time.Time's After/Before methods in a loop: never
+// confused with the package functions.
+func CountRecent(times []time.Time, cutoff time.Time) int {
+	n := 0
+	for _, v := range times {
+		if v.After(cutoff) && !v.Before(cutoff.Add(-time.Hour)) {
+			n++
+		}
+	}
+	return n
+}

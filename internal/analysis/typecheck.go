@@ -21,8 +21,9 @@ type importerState struct {
 	ctxt   build.Context
 	cache  map[string]*types.Package
 	active map[string]bool
-	writer *types.Interface
-	conn   *types.Interface
+	writer   *types.Interface
+	conn     *types.Interface
+	listener *types.Interface
 }
 
 func (m *Module) importer() *importerState {
@@ -147,6 +148,16 @@ func (s *importerState) netConn() *types.Interface {
 	}
 	s.conn = s.namedInterface("net", "Conn")
 	return s.conn
+}
+
+// netListener returns the net.Listener interface type, with the same
+// shared-importer identity guarantee as netConn.
+func (s *importerState) netListener() *types.Interface {
+	if s.listener != nil {
+		return s.listener
+	}
+	s.listener = s.namedInterface("net", "Listener")
+	return s.listener
 }
 
 // namedInterface resolves an interface type by package path and name.

@@ -46,13 +46,20 @@ type Harness struct {
 	// does not return while harness code is still running.
 	wg sync.WaitGroup
 
+	// done closes when Close begins. The origin accept loops poll it after
+	// every Accept: a connection that wins the race against the closing
+	// listener is dropped instead of spawning a fresh 15s-deadline handler
+	// that Close would then wait out.
+	done     chan struct{}
+	doneOnce sync.Once
+
 	mu       sync.Mutex
 	captured []proxylog.Record
 }
 
 // NewHarness starts the origins and the proxy on loopback.
 func NewHarness() (*Harness, error) {
-	h := &Harness{}
+	h := &Harness{done: make(chan struct{})}
 
 	cert, err := selfSigned()
 	if err != nil {
@@ -111,7 +118,11 @@ func NewHarness() (*Harness, error) {
 // Close stops the proxy and origins and waits for every harness
 // goroutine to drain: the accept loops exit when their listeners close,
 // and the per-connection handlers are bounded by their 15s deadlines.
+// Signalling done before closing the listeners means an accept that wins
+// the race is dropped rather than handled, so Close never waits a full
+// handler deadline for a connection nobody will read.
 func (h *Harness) Close() {
+	h.doneOnce.Do(func() { close(h.done) })
 	_ = h.proxy.Close()
 	_ = h.tlsLn.Close()
 	_ = h.httpLn.Close()
@@ -206,6 +217,12 @@ func (h *Harness) serveTLSOrigin() {
 		if err != nil {
 			return
 		}
+		select {
+		case <-h.done:
+			_ = c.Close()
+			return
+		default:
+		}
 		h.wg.Add(1)
 		go func(c net.Conn) {
 			defer h.wg.Done()
@@ -233,6 +250,12 @@ func (h *Harness) serveHTTPOrigin() {
 		c, err := h.httpLn.Accept()
 		if err != nil {
 			return
+		}
+		select {
+		case <-h.done:
+			_ = c.Close()
+			return
+		default:
 		}
 		h.wg.Add(1)
 		go func(c net.Conn) {
